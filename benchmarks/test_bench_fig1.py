@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 1 (expected overhead surface)."""
+
+from conftest import run_once
+
+from repro.experiments import fig1_table, run_fig1
+
+
+def test_bench_fig1_overhead_surface(benchmark):
+    result = run_once(benchmark, run_fig1)
+    print("\n" + fig1_table(result))
+    # Shape claims from the paper: ~40% overhead at hourly failures with a
+    # 120 s checkpoint, and monotone growth in both failure rate and Tckp.
+    assert 0.3 < result.at(1.0, 120.0) < 0.5
+    assert result.at(3.5, 140.0) > result.at(0.25, 10.0)
+    for row in result.overhead_fraction:
+        assert all(b >= a for a, b in zip(row, row[1:]))

@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Figure 10 (experimental vs expected overhead at 2,048 procs).
+
+This is the paper's headline experiment.  The assertions check the claims
+that survive the laptop-scale substitution documented in DESIGN.md: the lossy
+scheme has the lowest measured fault-tolerance overhead for every method, and
+the lossy checkpoint itself is several times cheaper than the traditional one.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig10_table, run_fig10
+
+
+def test_bench_fig10_experimental_vs_expected(benchmark, bench_config):
+    config = bench_config.with_overrides(repetitions=10)
+    result = run_once(benchmark, run_fig10, config)
+    print("\n" + fig10_table(result))
+
+    for method in result.methods:
+        lossy = result.experimental[(method, "lossy")]
+        traditional = result.experimental[(method, "traditional")]
+        # Headline claim: lossy checkpointing reduces the fault-tolerance
+        # overhead relative to traditional checkpointing for every method.
+        assert lossy < traditional
+        # The checkpoint itself is dramatically smaller/cheaper.
+        assert (
+            result.checkpoint_seconds[(method, "lossy")]
+            < 0.5 * result.checkpoint_seconds[(method, "traditional")]
+        )
+        # Young-optimal intervals: cheaper checkpoints mean shorter intervals.
+        assert result.intervals[(method, "lossy")] < result.intervals[(method, "traditional")]
+
+    # Jacobi also beats lossless checkpointing outright (paper: 24% reduction).
+    # GMRES and CG are the closest races at this reduced scale: the measured
+    # lossy compression ratios are 5-12x instead of the paper's 20-60x and a
+    # 35-120 virtual-minute run only sees 1-3 failures, so they are allowed to
+    # tie with lossless within noise (EXPERIMENTS.md discusses the gap).
+    assert result.experimental[("jacobi", "lossy")] < result.experimental[("jacobi", "lossless")]
+    assert result.experimental[("gmres", "lossy")] < 1.3 * result.experimental[
+        ("gmres", "lossless")
+    ]
+    assert result.experimental[("cg", "lossy")] < 1.3 * result.experimental[("cg", "lossless")]

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 2 (CG extra iterations vs error bound)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2_table, run_fig2
+
+
+def test_bench_fig2_cg_extra_iterations(benchmark, bench_config):
+    result = run_once(benchmark, run_fig2, bench_config, trials=12)
+    print("\n" + fig2_table(result))
+    # The paper reports averages between roughly 10% and 25% of the total
+    # iterations across bounds 1e-3..1e-6; at reduced problem size we accept a
+    # slightly wider band but the order of magnitude must match.
+    for eb in result.error_bounds:
+        fraction = result.mean_extra_fraction(eb)
+        assert 0.0 <= fraction <= 0.5
+    mean_over_bounds = sum(result.mean_extra_fraction(eb) for eb in result.error_bounds) / len(
+        result.error_bounds
+    )
+    assert 0.03 <= mean_over_bounds <= 0.4

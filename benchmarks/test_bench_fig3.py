@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 3 (GMRES on the KKT system across scales)."""
+
+from conftest import run_once
+
+from repro.experiments import fig3_table, run_fig3
+
+
+def test_bench_fig3_kkt_scaling(benchmark, bench_config):
+    result = run_once(benchmark, run_fig3, bench_config)
+    print("\n" + fig3_table(result))
+    assert result.converged
+    # Strong scaling: time decreases monotonically with the process count and
+    # the largest run still takes on the order of an hour (paper: >1 h at 4,096).
+    times = [result.modeled_seconds[p] for p in result.process_counts]
+    assert all(b < a for a, b in zip(times, times[1:]))
+    assert times[-1] > 3000.0
+    assert times[0] > times[-1] * 2

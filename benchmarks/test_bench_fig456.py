@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figures 4, 5 and 6 (checkpoint/recovery times)."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig456_table, run_fig456
+
+
+@pytest.mark.parametrize("method", ["jacobi", "gmres", "cg"])
+def test_bench_fig456_checkpoint_recovery_times(benchmark, bench_config, method):
+    result = run_once(benchmark, run_fig456, bench_config, method=method)
+    print("\n" + fig456_table(result))
+    first, last = result.process_counts[0], result.process_counts[-1]
+    for procs in result.process_counts:
+        # Lossy checkpointing is the cheapest at every scale, for both the
+        # checkpoint write and the recovery read.
+        assert result.checkpoint(procs, "lossy") < result.checkpoint(procs, "lossless")
+        assert result.checkpoint(procs, "lossless") <= result.checkpoint(procs, "traditional")
+        assert result.recovery(procs, "lossy") < result.recovery(procs, "traditional")
+    # Times grow roughly linearly with scale (weak scaling, fixed PFS bandwidth).
+    assert result.checkpoint(last, "traditional") > 4 * result.checkpoint(first, "traditional")
+    # The 2,048-process traditional checkpoint is the paper's ~120 s anchor
+    # (doubled for CG, which checkpoints x and p).
+    anchor = result.checkpoint(last, "traditional")
+    if method == "cg":
+        assert 180 < anchor < 280
+    else:
+        assert 100 < anchor < 140

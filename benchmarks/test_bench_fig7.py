@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 7 (expected overhead across scales, 2 MTTIs)."""
+
+from conftest import run_once
+
+from repro.experiments import fig7_table, run_fig7
+
+
+def test_bench_fig7_expected_overhead(benchmark, bench_config):
+    result = run_once(benchmark, run_fig7, bench_config)
+    print("\n" + fig7_table(result))
+    largest = max(result.process_counts)
+    smallest = min(result.process_counts)
+    for mtti in result.mtti_hours:
+        for procs in result.process_counts:
+            for method in ("jacobi", "gmres"):
+                # Lossy checkpointing is expected to win at every scale for
+                # Jacobi and GMRES (N' ~ 0).
+                assert result.value(mtti, procs, method, "lossy") < result.value(
+                    mtti, procs, method, "traditional"
+                )
+        # Overheads grow with scale under weak scaling.
+        assert result.value(mtti, largest, "jacobi", "traditional") > result.value(
+            mtti, smallest, "jacobi", "traditional"
+        )
+    # CG's crossover: lossy wins at the largest scales for MTTI = 1 h even with
+    # the 25% extra-iteration penalty (paper: crossover around 768-1536 procs).
+    assert result.value(1.0, largest, "cg", "lossy") < result.value(
+        1.0, largest, "cg", "traditional"
+    )
+    # Lower failure rate (3 h MTTI) lowers every overhead.
+    assert result.value(3.0, largest, "gmres", "traditional") < result.value(
+        1.0, largest, "gmres", "traditional"
+    )

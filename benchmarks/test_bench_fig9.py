@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 9 (Jacobi residual trajectories with lossy restarts)."""
+
+from conftest import run_once
+
+from repro.experiments import fig9_table, run_fig9
+
+
+def test_bench_fig9_jacobi_trajectories(benchmark, bench_config):
+    result = run_once(benchmark, run_fig9, bench_config)
+    print("\n" + fig9_table(result))
+    # The paper's claim: after a lossy recovery the Jacobi residual rejoins the
+    # failure-free trajectory with no extra iterations.
+    assert result.extra_iterations("1 lossy restart") <= 3
+    assert result.extra_iterations("2 lossy restarts") <= 5
+    # Residuals decrease overall along every trace.
+    for label, trace in result.traces.items():
+        assert trace[-1][1] < trace[0][1]

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 3 (per-process checkpoint sizes)."""
+
+from conftest import run_once
+
+from repro.experiments import run_table3, table3_table
+
+
+def test_bench_table3_checkpoint_sizes(benchmark, bench_config):
+    result = run_once(benchmark, run_table3, bench_config)
+    print("\n" + table3_table(result))
+    for procs in result.process_counts:
+        for method in result.methods:
+            trad = result.size_mb(procs, method, "traditional")
+            lossless = result.size_mb(procs, method, "lossless")
+            lossy = result.size_mb(procs, method, "lossy")
+            # Ordering and magnitude claims of Table 3.
+            assert lossy < lossless <= trad * 1.01
+            assert lossy < 0.5 * trad
+    # Traditional checkpoints are ~38 MB/process (one vector) and CG doubles that.
+    assert 30 < result.size_mb(2048, "jacobi", "traditional") < 45
+    assert 60 < result.size_mb(2048, "cg", "traditional") < 90
+    # Lossy compression achieves clearly higher ratios than lossless on every method.
+    for method in result.methods:
+        assert result.ratios[(method, "lossy")] > 2 * result.ratios[(method, "lossless")]

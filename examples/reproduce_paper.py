@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs the full experiment harness (Figures 1-10 and Table 3) with the default
+configuration and prints each artefact as a text table.  This is the script
+whose output backs EXPERIMENTS.md.
+
+Run:  python examples/reproduce_paper.py            # default configuration
+      python examples/reproduce_paper.py --small    # faster, smaller problems
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    DEFAULT_CONFIG,
+    SMALL_CONFIG,
+    fig1_table,
+    fig2_table,
+    fig3_table,
+    fig456_table,
+    fig7_table,
+    fig8_table,
+    fig9_table,
+    fig10_table,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig456,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table3,
+    table3_table,
+)
+
+
+def main() -> None:
+    config = SMALL_CONFIG if "--small" in sys.argv else DEFAULT_CONFIG
+    start = time.perf_counter()
+
+    sections = [
+        ("Figure 1", lambda: fig1_table(run_fig1())),
+        ("Figure 2", lambda: fig2_table(run_fig2(config))),
+        ("Figure 3", lambda: fig3_table(run_fig3(config))),
+        ("Table 3", lambda: table3_table(run_table3(config))),
+        ("Figure 4 (Jacobi)", lambda: fig456_table(run_fig456(config, method="jacobi"))),
+        ("Figure 5 (GMRES)", lambda: fig456_table(run_fig456(config, method="gmres"))),
+        ("Figure 6 (CG)", lambda: fig456_table(run_fig456(config, method="cg"))),
+        ("Figure 7", lambda: fig7_table(run_fig7(config))),
+        ("Figure 8", lambda: fig8_table(run_fig8(config))),
+        ("Figure 9", lambda: fig9_table(run_fig9(config))),
+        ("Figure 10", lambda: fig10_table(run_fig10(config))),
+    ]
+    for name, build in sections:
+        print("=" * 78)
+        print(build())
+        print()
+    print("=" * 78)
+    print(f"Regenerated all artefacts in {time.perf_counter() - start:.1f} s "
+          f"(config: grid {config.grid_n}^3, {config.repetitions} repetitions)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — lossy checkpointing for iterative methods (HPDC'18 reproduction).
+
+A from-scratch Python reproduction of
+
+    Dingwen Tao, Sheng Di, Xin Liang, Zizhong Chen, Franck Cappello.
+    "Improving Performance of Iterative Methods by Lossy Checkpointing",
+    HPDC 2018.
+
+The package is organised as the paper's system is: problem substrates
+(:mod:`repro.sparse`), error-bounded compressors (:mod:`repro.compression`),
+iterative solvers and preconditioners (:mod:`repro.solvers`,
+:mod:`repro.precond`), a checkpoint/restart toolkit (:mod:`repro.checkpoint`),
+a simulated cluster (:mod:`repro.cluster`), the lossy-checkpointing
+contribution itself (:mod:`repro.core`) and the experiment harness that
+regenerates every table and figure of the evaluation
+(:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro.sparse import poisson_system
+    from repro.solvers import CGSolver
+    from repro.core import CheckpointingScheme, FaultTolerantRunner
+
+    problem = poisson_system(16)
+    solver = CGSolver(problem.A, rtol=1e-7, max_iter=5000)
+    scheme = CheckpointingScheme.lossy(1e-4)
+    report = FaultTolerantRunner(
+        solver, problem.b, scheme,
+        mtti_seconds=3600.0, estimated_checkpoint_seconds=25.0, seed=0,
+    ).run()
+    print(report.overhead_fraction)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,48 @@
+"""Checkpoint/restart toolkit (the paper's FTI substitute).
+
+The workflow mirrors the paper's description of its library integration
+(Section 4.2): *register* the variables to protect (``Protect``), *snapshot*
+them periodically (``Snapshot``), and *restore* them after a failure.  The
+toolkit classifies variables the way Langou et al. and the paper do —
+static / dynamic / recomputed — compresses dynamic variables through any
+:class:`~repro.compression.base.Compressor`, and persists the resulting
+payload through a pluggable :class:`~repro.checkpoint.store.CheckpointStore`
+(in-memory, on-disk, or the FTI-style multilevel scheme).
+"""
+
+from repro.checkpoint.variables import VariableRole, ProtectedVariable, VariableRegistry
+from repro.checkpoint.serialization import (
+    serialize_checkpoint,
+    deserialize_checkpoint,
+    CheckpointPayload,
+)
+from repro.checkpoint.store import (
+    CheckpointStore,
+    MemoryCheckpointStore,
+    FileCheckpointStore,
+    WriteReceipt,
+)
+from repro.checkpoint.manager import CheckpointManager, CheckpointRecord
+from repro.checkpoint.multilevel import (
+    CheckpointLevel,
+    MultilevelPolicy,
+    MultilevelCheckpointStore,
+)
+
+__all__ = [
+    "VariableRole",
+    "ProtectedVariable",
+    "VariableRegistry",
+    "serialize_checkpoint",
+    "deserialize_checkpoint",
+    "CheckpointPayload",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "FileCheckpointStore",
+    "WriteReceipt",
+    "CheckpointManager",
+    "CheckpointRecord",
+    "CheckpointLevel",
+    "MultilevelPolicy",
+    "MultilevelCheckpointStore",
+]

@@ -1,0 +1,249 @@
+"""Checkpoint manager — the paper's ``Protect()`` / ``Snapshot()`` layer.
+
+The :class:`CheckpointManager` ties together the three lower layers:
+
+* the :class:`~repro.checkpoint.variables.VariableRegistry` holding the
+  protected solver state (static / dynamic / recomputed),
+* a :class:`~repro.compression.base.Compressor` that turns dynamic float
+  arrays into (possibly lossy) payloads, and
+* a :class:`~repro.checkpoint.store.CheckpointStore` that persists the
+  serialized checkpoint.
+
+``snapshot()`` compresses and persists the dynamic variables;
+``restore()`` reads back the latest (or a chosen) checkpoint, decompresses
+and pushes the values into the live variables through their setters.  Static
+variables are stored once via ``snapshot_static()``.  Recomputed variables
+are never stored — the caller recomputes them after a restore, exactly as in
+Algorithm 1/2 (``r = b - A x``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.checkpoint.serialization import (
+    CheckpointPayload,
+    deserialize_checkpoint,
+    serialize_checkpoint,
+)
+from repro.checkpoint.store import CheckpointStore, MemoryCheckpointStore
+from repro.checkpoint.variables import ProtectedVariable, VariableRegistry, VariableRole
+from repro.compression.base import CompressedBlob, Compressor
+from repro.compression.identity import IdentityCompressor
+
+__all__ = ["CheckpointManager", "CheckpointRecord"]
+
+_STATIC_ID = -1
+
+
+@dataclass
+class CheckpointRecord:
+    """Bookkeeping for one snapshot call."""
+
+    checkpoint_id: int
+    tag: Dict[str, object]
+    uncompressed_bytes: int
+    compressed_bytes: int
+    compress_seconds: float
+    write_seconds: float
+
+    @property
+    def compression_ratio(self) -> float:
+        """Achieved ratio over the dynamic variables of this snapshot."""
+        if self.compressed_bytes == 0:
+            return float("inf")
+        return self.uncompressed_bytes / self.compressed_bytes
+
+
+class CheckpointManager:
+    """Snapshot/restore protected variables through a compressor and a store."""
+
+    def __init__(
+        self,
+        compressor: Optional[Compressor] = None,
+        store: Optional[CheckpointStore] = None,
+        *,
+        keep_last: int = 2,
+    ) -> None:
+        self.compressor = compressor or IdentityCompressor()
+        self.store = store or MemoryCheckpointStore()
+        keep_last = int(keep_last)
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        self.keep_last = keep_last
+        self.registry = VariableRegistry()
+        self.records: List[CheckpointRecord] = []
+        self._next_id = 0
+
+    # -- registration (Protect) -------------------------------------------
+    def protect(
+        self,
+        name: str,
+        role: VariableRole,
+        getter,
+        setter=None,
+        *,
+        compressible: bool = True,
+    ) -> ProtectedVariable:
+        """Register a variable; see :meth:`VariableRegistry.protect`."""
+        return self.registry.protect(
+            name, role, getter, setter, compressible=compressible
+        )
+
+    # -- snapshots (Snapshot) ----------------------------------------------
+    def snapshot_static(self) -> Optional[CheckpointRecord]:
+        """Persist the static variables once (id ``-1``); no compression.
+
+        Returns None when no static variables are registered.
+        """
+        static_vars = self.registry.by_role(VariableRole.STATIC)
+        if not static_vars:
+            return None
+        payload = CheckpointPayload(meta={"kind": "static"})
+        raw_bytes = 0
+        for var in static_vars:
+            value = var.current_value()
+            entry = self._exact_entry(value)
+            raw_bytes += entry.nbytes if isinstance(entry, np.ndarray) else 8
+            payload.entries[var.name] = entry
+        serialized = serialize_checkpoint(payload)
+        receipt = self.store.write(_STATIC_ID, serialized)
+        record = CheckpointRecord(
+            checkpoint_id=_STATIC_ID,
+            tag={"kind": "static"},
+            uncompressed_bytes=raw_bytes,
+            compressed_bytes=len(serialized),
+            compress_seconds=0.0,
+            write_seconds=receipt.seconds,
+        )
+        self.records.append(record)
+        return record
+
+    def snapshot(self, **tag) -> CheckpointRecord:
+        """Compress and persist the dynamic variables (the ``Snapshot()`` call).
+
+        Keyword arguments become checkpoint metadata (e.g. ``iteration=120``)
+        and are returned verbatim by :meth:`restore`.
+        """
+        dynamic_vars = self.registry.by_role(VariableRole.DYNAMIC)
+        if not dynamic_vars:
+            raise RuntimeError("no dynamic variables are protected; nothing to snapshot")
+        payload = CheckpointPayload(meta={"kind": "dynamic", "tag": tag})
+        uncompressed = 0
+        compress_seconds = 0.0
+        for var in dynamic_vars:
+            value = var.current_value()
+            if (
+                var.compressible
+                and isinstance(value, np.ndarray)
+                and np.issubdtype(value.dtype, np.floating)
+                and value.size > 1
+            ):
+                blob = self.compressor.compress(value)
+                compress_seconds += self.compressor.records[-1].seconds
+                uncompressed += value.nbytes
+                payload.entries[var.name] = blob
+            else:
+                entry = self._exact_entry(value)
+                uncompressed += entry.nbytes if isinstance(entry, np.ndarray) else 8
+                payload.entries[var.name] = entry
+        serialized = serialize_checkpoint(payload)
+        checkpoint_id = self._next_id
+        self._next_id += 1
+        receipt = self.store.write(checkpoint_id, serialized)
+        self._prune_dynamic()
+        record = CheckpointRecord(
+            checkpoint_id=checkpoint_id,
+            tag=dict(tag),
+            uncompressed_bytes=uncompressed,
+            compressed_bytes=len(serialized),
+            compress_seconds=compress_seconds,
+            write_seconds=receipt.seconds,
+        )
+        self.records.append(record)
+        return record
+
+    # -- restore -------------------------------------------------------------
+    def restore(
+        self, checkpoint_id: Optional[int] = None, *, apply: bool = True
+    ) -> Dict[str, object]:
+        """Load a checkpoint (latest by default), decompress and apply it.
+
+        Returns the restored values keyed by variable name plus the metadata
+        tag under ``"__tag__"``.  With ``apply=False`` the values are returned
+        without being pushed through the variable setters.
+        """
+        if checkpoint_id is None:
+            checkpoint_id = self._latest_dynamic_id()
+            if checkpoint_id is None:
+                raise KeyError("no dynamic checkpoint available to restore")
+        raw = self.store.read(checkpoint_id)
+        payload = deserialize_checkpoint(raw)
+        restored: Dict[str, object] = {}
+        for name, entry in payload.entries.items():
+            if isinstance(entry, CompressedBlob):
+                value = self.compressor.decompress(entry)
+            else:
+                value = entry
+            restored[name] = value
+            if apply and name in self.registry:
+                var = self.registry.variables[name]
+                if var.setter is not None:
+                    var.restore(value)
+        restored["__tag__"] = payload.meta.get("tag", {})
+        return restored
+
+    def restore_static(self, *, apply: bool = True) -> Dict[str, object]:
+        """Load the static-variable checkpoint written by :meth:`snapshot_static`."""
+        raw = self.store.read(_STATIC_ID)
+        payload = deserialize_checkpoint(raw)
+        restored: Dict[str, object] = {}
+        for name, entry in payload.entries.items():
+            restored[name] = entry
+            if apply and name in self.registry:
+                var = self.registry.variables[name]
+                if var.setter is not None:
+                    var.restore(entry)
+        return restored
+
+    # -- queries ---------------------------------------------------------------
+    def has_checkpoint(self) -> bool:
+        """True when at least one dynamic checkpoint exists."""
+        return self._latest_dynamic_id() is not None
+
+    def latest_record(self) -> Optional[CheckpointRecord]:
+        """The record of the most recent dynamic snapshot, if any."""
+        dynamic = [r for r in self.records if r.checkpoint_id != _STATIC_ID]
+        return dynamic[-1] if dynamic else None
+
+    def mean_compression_ratio(self) -> float:
+        """Mean ratio over all dynamic snapshots taken so far."""
+        dynamic = [r for r in self.records if r.checkpoint_id != _STATIC_ID]
+        if not dynamic:
+            return 1.0
+        return float(np.mean([r.compression_ratio for r in dynamic]))
+
+    # -- internals ----------------------------------------------------------
+    def _latest_dynamic_id(self) -> Optional[int]:
+        ids = [i for i in self.store.ids() if i != _STATIC_ID]
+        return ids[-1] if ids else None
+
+    def _prune_dynamic(self) -> None:
+        ids = [i for i in self.store.ids() if i != _STATIC_ID]
+        for checkpoint_id in ids[: max(0, len(ids) - self.keep_last)]:
+            self.store.delete(checkpoint_id)
+
+    @staticmethod
+    def _exact_entry(value):
+        if isinstance(value, np.ndarray):
+            return np.ascontiguousarray(value)
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        if isinstance(value, (float, np.floating)):
+            return float(value)
+        raise TypeError(
+            f"cannot checkpoint value of type {type(value)!r}; register arrays or scalars"
+        )

@@ -1,0 +1,148 @@
+"""FTI-style multilevel checkpointing (extension beyond the paper's L4-only use).
+
+FTI (Bautista-Gomez et al., SC'11) offers four checkpoint levels with
+increasing resilience and cost:
+
+* **L1** — local storage device (fast, survives soft process failures only),
+* **L2** — partner copy on a buddy node,
+* **L3** — Reed-Solomon encoded across nodes,
+* **L4** — the parallel file system (survives whole-system failures).
+
+The paper writes all checkpoints at L4 through MPI-IO; this module adds the
+multilevel policy so the ablation benchmarks can quantify how much of the
+lossy-checkpointing gain survives when cheaper levels absorb most failures.
+The levels here are *modeled*: each level has a cost multiplier relative to a
+PFS write and a survival probability given a failure, and the
+:class:`MultilevelCheckpointStore` keeps one payload per level while exposing
+the plain :class:`~repro.checkpoint.store.CheckpointStore` interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.checkpoint.store import CheckpointStore, MemoryCheckpointStore, WriteReceipt
+from repro.utils.rng import default_rng
+
+__all__ = ["CheckpointLevel", "MultilevelPolicy", "MultilevelCheckpointStore"]
+
+
+class CheckpointLevel(enum.IntEnum):
+    """FTI's four checkpoint levels."""
+
+    LOCAL = 1
+    PARTNER = 2
+    REED_SOLOMON = 3
+    PFS = 4
+
+
+#: Relative write-cost multipliers (PFS = 1.0) — FTI's published measurements
+#: put L1 at a few percent of L4 and L2/L3 in between.
+_DEFAULT_COST = {
+    CheckpointLevel.LOCAL: 0.05,
+    CheckpointLevel.PARTNER: 0.15,
+    CheckpointLevel.REED_SOLOMON: 0.35,
+    CheckpointLevel.PFS: 1.0,
+}
+
+#: Probability that a checkpoint at this level survives a (random) failure.
+_DEFAULT_SURVIVAL = {
+    CheckpointLevel.LOCAL: 0.60,
+    CheckpointLevel.PARTNER: 0.85,
+    CheckpointLevel.REED_SOLOMON: 0.97,
+    CheckpointLevel.PFS: 1.0,
+}
+
+
+@dataclass
+class MultilevelPolicy:
+    """Which level each successive checkpoint goes to, and level properties.
+
+    ``cycle`` lists the level assigned to checkpoint number ``i mod
+    len(cycle)``; FTI's default-like cycle writes mostly cheap local
+    checkpoints with a periodic PFS checkpoint.
+    """
+
+    cycle: List[CheckpointLevel] = field(
+        default_factory=lambda: [
+            CheckpointLevel.LOCAL,
+            CheckpointLevel.LOCAL,
+            CheckpointLevel.PARTNER,
+            CheckpointLevel.LOCAL,
+            CheckpointLevel.LOCAL,
+            CheckpointLevel.PFS,
+        ]
+    )
+    cost_multiplier: Dict[CheckpointLevel, float] = field(
+        default_factory=lambda: dict(_DEFAULT_COST)
+    )
+    survival_probability: Dict[CheckpointLevel, float] = field(
+        default_factory=lambda: dict(_DEFAULT_SURVIVAL)
+    )
+
+    def __post_init__(self) -> None:
+        if not self.cycle:
+            raise ValueError("cycle must contain at least one level")
+        for level in CheckpointLevel:
+            if not (0.0 < self.cost_multiplier[level] <= 1.0 + 1e-9):
+                raise ValueError(f"cost multiplier for {level} must be in (0, 1]")
+            if not (0.0 <= self.survival_probability[level] <= 1.0):
+                raise ValueError(f"survival probability for {level} must be in [0, 1]")
+
+    def level_for(self, checkpoint_index: int) -> CheckpointLevel:
+        """Level assigned to the ``checkpoint_index``-th checkpoint."""
+        return self.cycle[int(checkpoint_index) % len(self.cycle)]
+
+
+class MultilevelCheckpointStore(CheckpointStore):
+    """Store that keeps payloads per level and models level survival.
+
+    ``write`` assigns the level from the policy cycle; ``surviving_id`` draws
+    which of the stored checkpoints survive a failure (PFS always survives)
+    and returns the newest survivor — that is the checkpoint a recovery would
+    actually restart from.
+    """
+
+    def __init__(self, policy: Optional[MultilevelPolicy] = None, *, seed=None) -> None:
+        self.policy = policy or MultilevelPolicy()
+        self._store = MemoryCheckpointStore()
+        self._levels: Dict[int, CheckpointLevel] = {}
+        self._write_count = 0
+        self._rng = default_rng(seed)
+
+    # -- CheckpointStore interface -----------------------------------------
+    def write(self, checkpoint_id: int, payload: bytes) -> WriteReceipt:
+        level = self.policy.level_for(self._write_count)
+        self._write_count += 1
+        self._levels[int(checkpoint_id)] = level
+        return self._store.write(checkpoint_id, payload)
+
+    def read(self, checkpoint_id: int) -> bytes:
+        return self._store.read(checkpoint_id)
+
+    def ids(self) -> List[int]:
+        return self._store.ids()
+
+    def delete(self, checkpoint_id: int) -> None:
+        self._levels.pop(int(checkpoint_id), None)
+        self._store.delete(checkpoint_id)
+
+    # -- multilevel-specific ---------------------------------------------------
+    def level_of(self, checkpoint_id: int) -> CheckpointLevel:
+        """The level the given checkpoint was written to."""
+        return self._levels[int(checkpoint_id)]
+
+    def cost_multiplier_of(self, checkpoint_id: int) -> float:
+        """Relative write cost of the given checkpoint (PFS = 1)."""
+        return self.policy.cost_multiplier[self.level_of(checkpoint_id)]
+
+    def surviving_id(self, *, exclude_static: bool = True) -> Optional[int]:
+        """Newest checkpoint that survives a simulated failure, if any."""
+        candidates = [i for i in self.ids() if not (exclude_static and i < 0)]
+        for checkpoint_id in reversed(candidates):
+            level = self._levels.get(checkpoint_id, CheckpointLevel.PFS)
+            if self._rng.random() <= self.policy.survival_probability[level]:
+                return checkpoint_id
+        return None

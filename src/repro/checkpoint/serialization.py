@@ -1,0 +1,130 @@
+"""Checkpoint payload (de)serialization.
+
+A checkpoint is a set of named entries, each either a compressed array
+(:class:`~repro.compression.base.CompressedBlob`) or an exactly-stored scalar
+or small array (iteration counters, ``rho``...).  The serializer packs these
+into one self-describing byte string so any
+:class:`~repro.checkpoint.store.CheckpointStore` backend can persist it
+opaquely — the same way FTI writes one checkpoint file per process.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.compression.base import CompressedBlob
+
+__all__ = ["CheckpointPayload", "serialize_checkpoint", "deserialize_checkpoint"]
+
+_MAGIC = b"RPCK0001"
+
+Entry = Union[CompressedBlob, np.ndarray, float, int]
+
+
+@dataclass
+class CheckpointPayload:
+    """In-memory representation of one checkpoint before/after serialization."""
+
+    entries: Dict[str, Entry] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def nbytes(self) -> int:
+        """Approximate serialized size (payload bytes of each entry)."""
+        total = 0
+        for value in self.entries.values():
+            if isinstance(value, CompressedBlob):
+                total += value.nbytes
+            elif isinstance(value, np.ndarray):
+                total += value.nbytes
+            else:
+                total += 8
+        return total
+
+
+def _entry_header(value: Entry) -> Dict[str, object]:
+    if isinstance(value, CompressedBlob):
+        return {
+            "kind": "blob",
+            "shape": list(value.shape),
+            "dtype": value.dtype,
+            "compressor": value.compressor,
+            "meta": value.meta,
+            "nbytes": value.nbytes,
+        }
+    if isinstance(value, np.ndarray):
+        return {
+            "kind": "array",
+            "shape": list(value.shape),
+            "dtype": np.dtype(value.dtype).str,
+            "nbytes": int(value.nbytes),
+        }
+    if isinstance(value, (int, np.integer)):
+        return {"kind": "int", "value": int(value)}
+    if isinstance(value, (float, np.floating)):
+        return {"kind": "float", "value": float(value)}
+    raise TypeError(f"unsupported checkpoint entry type: {type(value)!r}")
+
+
+def serialize_checkpoint(payload: CheckpointPayload) -> bytes:
+    """Pack a :class:`CheckpointPayload` into a single byte string."""
+    headers = {}
+    body = io.BytesIO()
+    for name, value in payload.entries.items():
+        header = _entry_header(value)
+        if header["kind"] == "blob":
+            header["offset"] = body.tell()
+            body.write(value.payload)  # type: ignore[union-attr]
+        elif header["kind"] == "array":
+            header["offset"] = body.tell()
+            body.write(np.ascontiguousarray(value).tobytes())
+        headers[name] = header
+    index = json.dumps({"entries": headers, "meta": payload.meta}).encode("utf-8")
+    out = io.BytesIO()
+    out.write(_MAGIC)
+    out.write(np.asarray([len(index)], dtype=np.int64).tobytes())
+    out.write(index)
+    out.write(body.getvalue())
+    return out.getvalue()
+
+
+def deserialize_checkpoint(raw: bytes) -> CheckpointPayload:
+    """Inverse of :func:`serialize_checkpoint`."""
+    if raw[: len(_MAGIC)] != _MAGIC:
+        raise ValueError("not a repro checkpoint payload (bad magic)")
+    offset = len(_MAGIC)
+    index_len = int(np.frombuffer(raw, dtype=np.int64, count=1, offset=offset)[0])
+    offset += 8
+    index = json.loads(raw[offset:offset + index_len].decode("utf-8"))
+    offset += index_len
+    body = raw[offset:]
+
+    entries: Dict[str, Entry] = {}
+    for name, header in index["entries"].items():
+        kind = header["kind"]
+        if kind == "blob":
+            start = int(header["offset"])
+            stop = start + int(header["nbytes"])
+            entries[name] = CompressedBlob(
+                payload=body[start:stop],
+                shape=tuple(int(s) for s in header["shape"]),
+                dtype=header["dtype"],
+                compressor=header["compressor"],
+                meta=dict(header["meta"]),
+            )
+        elif kind == "array":
+            start = int(header["offset"])
+            stop = start + int(header["nbytes"])
+            arr = np.frombuffer(body[start:stop], dtype=np.dtype(header["dtype"])).copy()
+            entries[name] = arr.reshape([int(s) for s in header["shape"]])
+        elif kind == "int":
+            entries[name] = int(header["value"])
+        elif kind == "float":
+            entries[name] = float(header["value"])
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown checkpoint entry kind {kind!r}")
+    return CheckpointPayload(entries=entries, meta=dict(index.get("meta", {})))

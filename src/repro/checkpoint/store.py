@@ -1,0 +1,144 @@
+"""Checkpoint persistence back ends.
+
+A :class:`CheckpointStore` persists opaque checkpoint payloads keyed by an
+integer checkpoint id.  Two concrete back ends are provided:
+
+* :class:`MemoryCheckpointStore` — keeps payloads in RAM.  This is what the
+  fault-tolerance runner uses: the *timing* of PFS writes is modeled by the
+  cluster layer (see :mod:`repro.cluster.pfs`), so the store itself only needs
+  to hold the real bytes.
+* :class:`FileCheckpointStore` — writes one file per checkpoint under a
+  directory, like FTI's one-file-per-process layout, for users who want real
+  persistence in their own applications.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "WriteReceipt",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "FileCheckpointStore",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@dataclass
+class WriteReceipt:
+    """Result of persisting one checkpoint."""
+
+    checkpoint_id: int
+    nbytes: int
+    seconds: float
+
+
+class CheckpointStore(abc.ABC):
+    """Abstract key-value store for serialized checkpoints."""
+
+    @abc.abstractmethod
+    def write(self, checkpoint_id: int, payload: bytes) -> WriteReceipt:
+        """Persist ``payload`` under ``checkpoint_id`` (overwriting)."""
+
+    @abc.abstractmethod
+    def read(self, checkpoint_id: int) -> bytes:
+        """Return the payload stored under ``checkpoint_id``."""
+
+    @abc.abstractmethod
+    def ids(self) -> List[int]:
+        """All stored checkpoint ids in ascending order."""
+
+    @abc.abstractmethod
+    def delete(self, checkpoint_id: int) -> None:
+        """Remove a checkpoint (no-op if absent)."""
+
+    def latest_id(self) -> Optional[int]:
+        """The most recent checkpoint id, or None if the store is empty."""
+        ids = self.ids()
+        return ids[-1] if ids else None
+
+    def prune(self, keep_last: int = 1) -> None:
+        """Delete all but the most recent ``keep_last`` checkpoints."""
+        if keep_last < 0:
+            raise ValueError(f"keep_last must be >= 0, got {keep_last}")
+        ids = self.ids()
+        for checkpoint_id in ids[: max(0, len(ids) - keep_last)]:
+            self.delete(checkpoint_id)
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """In-memory checkpoint store (payloads held as byte strings)."""
+
+    def __init__(self) -> None:
+        self._data: Dict[int, bytes] = {}
+
+    def write(self, checkpoint_id: int, payload: bytes) -> WriteReceipt:
+        start = time.perf_counter()
+        self._data[int(checkpoint_id)] = bytes(payload)
+        return WriteReceipt(int(checkpoint_id), len(payload), time.perf_counter() - start)
+
+    def read(self, checkpoint_id: int) -> bytes:
+        try:
+            return self._data[int(checkpoint_id)]
+        except KeyError:
+            raise KeyError(f"no checkpoint with id {checkpoint_id}") from None
+
+    def ids(self) -> List[int]:
+        return sorted(self._data)
+
+    def delete(self, checkpoint_id: int) -> None:
+        self._data.pop(int(checkpoint_id), None)
+
+    def total_bytes(self) -> int:
+        """Total bytes currently held by the store."""
+        return sum(len(v) for v in self._data.values())
+
+
+class FileCheckpointStore(CheckpointStore):
+    """One-file-per-checkpoint store rooted at ``directory``."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, checkpoint_id: int) -> str:
+        return os.path.join(self.directory, f"ckpt_{int(checkpoint_id):08d}.bin")
+
+    def write(self, checkpoint_id: int, payload: bytes) -> WriteReceipt:
+        start = time.perf_counter()
+        path = self._path(checkpoint_id)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return WriteReceipt(int(checkpoint_id), len(payload), time.perf_counter() - start)
+
+    def read(self, checkpoint_id: int) -> bytes:
+        path = self._path(checkpoint_id)
+        if not os.path.exists(path):
+            raise KeyError(f"no checkpoint with id {checkpoint_id}")
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def ids(self) -> List[int]:
+        found = []
+        for name in os.listdir(self.directory):
+            if name.startswith("ckpt_") and name.endswith(".bin"):
+                try:
+                    found.append(int(name[5:-4]))
+                except ValueError:
+                    continue
+        return sorted(found)
+
+    def delete(self, checkpoint_id: int) -> None:
+        path = self._path(checkpoint_id)
+        if os.path.exists(path):
+            os.remove(path)

@@ -1,0 +1,146 @@
+"""Variable classification and registration (the paper's ``Protect()``).
+
+Section 3 of the paper classifies solver variables into three roles:
+
+* **static** — stored once before the iterations start (matrix ``A``,
+  preconditioner ``M``, right-hand side ``b``);
+* **dynamic** — change every iteration and must be checkpointed periodically
+  (iteration counter, ``x``, and for non-restarted CG also ``p`` and ``rho``);
+* **recomputed** — cheaper to recompute after a failure than to checkpoint
+  (the residual ``r = b - A x``).
+
+The :class:`VariableRegistry` captures this classification together with
+getter/setter callables so the checkpoint manager can snapshot and restore
+live solver state without the solver knowing about checkpointing at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["VariableRole", "ProtectedVariable", "VariableRegistry"]
+
+
+class VariableRole(str, enum.Enum):
+    """The paper's three-way variable classification."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    RECOMPUTED = "recomputed"
+
+
+@dataclass
+class ProtectedVariable:
+    """One registered variable.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the registry.
+    role:
+        Static / dynamic / recomputed classification.
+    getter:
+        Callable returning the current value (array or scalar).
+    setter:
+        Callable accepting a restored value; optional for static variables
+        that are reconstructed rather than restored.
+    compressible:
+        Whether the value may be run through a lossy compressor (only float
+        arrays; iteration counters and scalars are always stored exactly).
+    """
+
+    name: str
+    role: VariableRole
+    getter: Callable[[], object]
+    setter: Optional[Callable[[object], None]] = None
+    compressible: bool = True
+
+    def current_value(self) -> object:
+        """Read the live value through the getter."""
+        return self.getter()
+
+    def restore(self, value: object) -> None:
+        """Write ``value`` back through the setter."""
+        if self.setter is None:
+            raise ValueError(f"variable {self.name!r} has no setter registered")
+        self.setter(value)
+
+
+@dataclass
+class VariableRegistry:
+    """Collection of protected variables, indexed by name."""
+
+    variables: Dict[str, ProtectedVariable] = field(default_factory=dict)
+
+    def protect(
+        self,
+        name: str,
+        role: VariableRole,
+        getter: Callable[[], object],
+        setter: Optional[Callable[[object], None]] = None,
+        *,
+        compressible: bool = True,
+    ) -> ProtectedVariable:
+        """Register a variable (the paper's ``Protect()`` API)."""
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        if name in self.variables:
+            raise ValueError(f"variable {name!r} is already protected")
+        var = ProtectedVariable(
+            name=name,
+            role=VariableRole(role),
+            getter=getter,
+            setter=setter,
+            compressible=compressible,
+        )
+        self.variables[name] = var
+        return var
+
+    def protect_value(
+        self, name: str, role: VariableRole, holder: Dict[str, object], *, compressible: bool = True
+    ) -> ProtectedVariable:
+        """Protect a dict-slot variable — convenience for simple state holders."""
+        return self.protect(
+            name,
+            role,
+            getter=lambda holder=holder, name=name: holder[name],
+            setter=lambda value, holder=holder, name=name: holder.__setitem__(name, value),
+            compressible=compressible,
+        )
+
+    def unprotect(self, name: str) -> None:
+        """Remove a variable from the registry."""
+        self.variables.pop(name, None)
+
+    def by_role(self, role: VariableRole) -> List[ProtectedVariable]:
+        """All variables with the given role, in registration order."""
+        role = VariableRole(role)
+        return [v for v in self.variables.values() if v.role is role]
+
+    def names(self, roles: Optional[Iterable[VariableRole]] = None) -> List[str]:
+        """Names of the registered variables, optionally filtered by role."""
+        if roles is None:
+            return list(self.variables)
+        roles = {VariableRole(r) for r in roles}
+        return [name for name, v in self.variables.items() if v.role in roles]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.variables
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def dynamic_nbytes(self) -> int:
+        """Total byte size of the current dynamic-variable values."""
+        total = 0
+        for var in self.by_role(VariableRole.DYNAMIC):
+            value = var.current_value()
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+            else:
+                total += np.asarray(value).nbytes
+        return total

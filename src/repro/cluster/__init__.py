@@ -1,0 +1,28 @@
+"""Simulated HPC cluster: machine model, PFS I/O model, failures, partitioning.
+
+The paper's evaluation ran on 2,048 cores of the Bebop cluster with roughly
+80 GB checkpoints going to a parallel file system.  This subpackage provides
+the laptop-scale substitute documented in DESIGN.md: vectors and solvers run
+for real at reduced size, while wall-clock seconds for compute, checkpoint
+writes and recovery reads are *modeled* by :class:`~repro.cluster.machine.ClusterModel`,
+calibrated against the numbers the paper itself reports (a 78.8 GB traditional
+checkpoint takes about 120 s; Jacobi/GMRES/CG baselines of 50/120/35 minutes
+at 2,048 processes).
+"""
+
+from repro.cluster.machine import MachineSpec, ClusterModel, BEBOP_LIKE
+from repro.cluster.pfs import PFSModel
+from repro.cluster.failures import FailureInjector, FailureEvent
+from repro.cluster.partition import block_partition, local_sizes, BlockPartition
+
+__all__ = [
+    "MachineSpec",
+    "ClusterModel",
+    "BEBOP_LIKE",
+    "PFSModel",
+    "FailureInjector",
+    "FailureEvent",
+    "block_partition",
+    "local_sizes",
+    "BlockPartition",
+]

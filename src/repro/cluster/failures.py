@@ -1,0 +1,85 @@
+"""Fail-stop failure injection.
+
+The paper injects failures whose inter-arrival times follow an exponential
+distribution ("because this is a common behavior of a system for most of its
+lifetime"), with a mean time to interruption of one hour in the main
+experiment.  :class:`FailureInjector` reproduces that process on the virtual
+timeline: failures are pre-sampled lazily and can land anywhere — during
+compute, during a checkpoint write, or during a recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.utils.rng import SeedLike, default_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["FailureEvent", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One injected fail-stop failure."""
+
+    index: int
+    time: float
+    phase: str
+
+
+class FailureInjector:
+    """Exponential (Poisson-process) failure generator on the virtual timeline.
+
+    Parameters
+    ----------
+    mtti:
+        Mean time to interruption in (virtual) seconds; ``None`` or ``inf``
+        disables failures entirely (failure-free baseline runs).
+    seed:
+        RNG seed / generator for reproducibility.
+    """
+
+    def __init__(self, mtti: Optional[float] = 3600.0, *, seed: SeedLike = None) -> None:
+        if mtti is None or mtti == float("inf"):
+            self.mtti: Optional[float] = None
+        else:
+            self.mtti = check_positive(mtti, "mtti")
+        self._rng = default_rng(seed)
+        self._next_time: Optional[float] = None
+        self.events: List[FailureEvent] = []
+        if self.mtti is not None:
+            self._next_time = float(self._rng.exponential(self.mtti))
+
+    @property
+    def failure_rate(self) -> float:
+        """Failures per (virtual) second — the model's lambda."""
+        return 0.0 if self.mtti is None else 1.0 / self.mtti
+
+    def next_failure_time(self) -> float:
+        """Virtual time of the next pending failure (inf when disabled)."""
+        if self._next_time is None:
+            return float("inf")
+        return self._next_time
+
+    def failure_in(self, start: float, stop: float) -> Optional[float]:
+        """Return the failure time if one falls inside ``(start, stop]``."""
+        if self._next_time is None:
+            return None
+        if start < self._next_time <= stop:
+            return self._next_time
+        return None
+
+    def consume(self, time: float, phase: str = "compute") -> FailureEvent:
+        """Record the pending failure as having struck at ``time`` and re-arm."""
+        if self._next_time is None:
+            raise RuntimeError("failure injection is disabled (mtti=None)")
+        event = FailureEvent(index=len(self.events), time=float(time), phase=phase)
+        self.events.append(event)
+        self._next_time = float(time) + float(self._rng.exponential(self.mtti))
+        return event
+
+    @property
+    def count(self) -> int:
+        """Number of failures injected so far."""
+        return len(self.events)

@@ -1,0 +1,83 @@
+"""1-D block partitioning of vectors across simulated MPI ranks.
+
+The paper's checkpoints are written per process (Table 3 reports *per-process*
+checkpoint sizes).  This module provides the block decomposition used to
+attribute global vector elements — and hence checkpoint bytes — to simulated
+ranks, plus helpers to split/reassemble actual NumPy vectors for tests that
+exercise the distributed view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["BlockPartition", "block_partition", "local_sizes"]
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """A contiguous block decomposition of ``n`` elements over ``ranks`` ranks."""
+
+    n: int
+    ranks: int
+    offsets: Tuple[int, ...]
+
+    @property
+    def counts(self) -> Tuple[int, ...]:
+        """Number of elements owned by each rank."""
+        return tuple(
+            self.offsets[r + 1] - self.offsets[r] for r in range(self.ranks)
+        )
+
+    def owner(self, index: int) -> int:
+        """Rank owning global element ``index``."""
+        if not (0 <= index < self.n):
+            raise IndexError(f"index {index} out of range [0, {self.n})")
+        return int(np.searchsorted(np.asarray(self.offsets), index, side="right") - 1)
+
+    def local_slice(self, rank: int) -> slice:
+        """Slice of the global vector owned by ``rank``."""
+        if not (0 <= rank < self.ranks):
+            raise IndexError(f"rank {rank} out of range [0, {self.ranks})")
+        return slice(self.offsets[rank], self.offsets[rank + 1])
+
+    def scatter(self, vector: np.ndarray) -> List[np.ndarray]:
+        """Split a global vector into per-rank local pieces (views)."""
+        vector = np.asarray(vector)
+        if vector.shape[0] != self.n:
+            raise ValueError(f"vector has length {vector.shape[0]}, expected {self.n}")
+        return [vector[self.local_slice(r)] for r in range(self.ranks)]
+
+    def gather(self, pieces: List[np.ndarray]) -> np.ndarray:
+        """Reassemble per-rank pieces into the global vector."""
+        if len(pieces) != self.ranks:
+            raise ValueError(f"expected {self.ranks} pieces, got {len(pieces)}")
+        for rank, piece in enumerate(pieces):
+            expected = self.counts[rank]
+            if np.asarray(piece).shape[0] != expected:
+                raise ValueError(
+                    f"piece {rank} has length {np.asarray(piece).shape[0]}, expected {expected}"
+                )
+        return np.concatenate([np.asarray(p) for p in pieces])
+
+
+def block_partition(n: int, ranks: int) -> BlockPartition:
+    """Build the standard near-equal contiguous block partition."""
+    n = int(n)
+    ranks = int(ranks)
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if ranks < 1:
+        raise ValueError(f"ranks must be >= 1, got {ranks}")
+    base, extra = divmod(n, ranks)
+    counts = [base + (1 if r < extra else 0) for r in range(ranks)]
+    offsets = np.concatenate(([0], np.cumsum(counts))).astype(int)
+    return BlockPartition(n=n, ranks=ranks, offsets=tuple(int(o) for o in offsets))
+
+
+def local_sizes(n: int, ranks: int) -> List[int]:
+    """Per-rank element counts of the block partition (convenience)."""
+    return list(block_partition(n, ranks).counts)

@@ -1,0 +1,191 @@
+"""Compressor interface, compressed-payload container and registry.
+
+Every checkpointing scheme in the reproduction ("traditional", "lossless",
+"lossy") is just a :class:`Compressor` plugged into the checkpoint manager.
+The interface mirrors how the paper's pipeline uses SZ inside FTI: arrays in,
+opaque bytes out, plus enough metadata to reconstruct the array and to report
+compression ratios.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CompressedBlob",
+    "CompressionRecord",
+    "Compressor",
+    "register_compressor",
+    "make_compressor",
+    "available_compressors",
+]
+
+
+@dataclass
+class CompressedBlob:
+    """An opaque compressed payload plus the metadata needed to restore it.
+
+    Attributes
+    ----------
+    payload:
+        The compressed byte string.
+    shape / dtype:
+        Original array shape and dtype string (restored exactly).
+    compressor:
+        Name of the compressor that produced the payload.
+    meta:
+        Compressor-specific metadata (error bound used, codec parameters, ...).
+    """
+
+    payload: bytes
+    shape: Tuple[int, ...]
+    dtype: str
+    compressor: str
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the compressed payload in bytes (metadata excluded)."""
+        return len(self.payload)
+
+    @property
+    def original_nbytes(self) -> int:
+        """Size of the original array in bytes."""
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original bytes divided by compressed bytes."""
+        if self.nbytes == 0:
+            return float("inf")
+        return self.original_nbytes / self.nbytes
+
+
+@dataclass
+class CompressionRecord:
+    """Timing/size bookkeeping for one compress or decompress call."""
+
+    operation: str
+    original_bytes: int
+    compressed_bytes: int
+    seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio achieved by this call."""
+        if self.compressed_bytes == 0:
+            return float("inf")
+        return self.original_bytes / self.compressed_bytes
+
+
+class Compressor(abc.ABC):
+    """Abstract base class for all checkpoint compressors.
+
+    Subclasses implement :meth:`_compress_array` / :meth:`_decompress_array`;
+    the public :meth:`compress` / :meth:`decompress` wrappers add input
+    validation and per-call timing records (used by the experiment harness to
+    report compression throughput).
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+    #: Whether decompression reproduces the input bit-for-bit.
+    lossless: bool = False
+
+    def __init__(self) -> None:
+        self.records: List[CompressionRecord] = []
+
+    # -- public API --------------------------------------------------------
+    def compress(self, data: np.ndarray) -> CompressedBlob:
+        """Compress ``data`` (any-dimensional float/int array) to a blob."""
+        arr = np.ascontiguousarray(data)
+        if arr.size == 0:
+            raise ValueError("cannot compress an empty array")
+        start = time.perf_counter()
+        blob = self._compress_array(arr)
+        elapsed = time.perf_counter() - start
+        self.records.append(
+            CompressionRecord("compress", arr.nbytes, blob.nbytes, elapsed)
+        )
+        return blob
+
+    def decompress(self, blob: CompressedBlob) -> np.ndarray:
+        """Reconstruct the array stored in ``blob``."""
+        if blob.compressor != self.name:
+            raise ValueError(
+                f"blob was produced by {blob.compressor!r}, not by {self.name!r}"
+            )
+        start = time.perf_counter()
+        arr = self._decompress_array(blob)
+        elapsed = time.perf_counter() - start
+        self.records.append(
+            CompressionRecord("decompress", arr.nbytes, blob.nbytes, elapsed)
+        )
+        return arr
+
+    def roundtrip(self, data: np.ndarray) -> Tuple[np.ndarray, CompressedBlob]:
+        """Convenience: compress then decompress, returning both results."""
+        blob = self.compress(data)
+        return self.decompress(blob), blob
+
+    # -- bookkeeping --------------------------------------------------------
+    def mean_seconds(self, operation: str) -> float:
+        """Mean seconds per call for ``operation`` ('compress'/'decompress')."""
+        times = [r.seconds for r in self.records if r.operation == operation]
+        return float(np.mean(times)) if times else 0.0
+
+    def reset_records(self) -> None:
+        """Clear accumulated timing records."""
+        self.records.clear()
+
+    # -- subclass hooks ------------------------------------------------------
+    @abc.abstractmethod
+    def _compress_array(self, data: np.ndarray) -> CompressedBlob:
+        """Compress a non-empty contiguous array."""
+
+    @abc.abstractmethod
+    def _decompress_array(self, blob: CompressedBlob) -> np.ndarray:
+        """Reconstruct the array stored in ``blob``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: Dict[str, Callable[..., Compressor]] = {}
+
+
+def register_compressor(name: str, factory: Callable[..., Compressor]) -> None:
+    """Register ``factory`` under ``name`` for :func:`make_compressor`."""
+    if not name:
+        raise ValueError("compressor name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def make_compressor(name: str, **kwargs) -> Compressor:
+    """Instantiate a registered compressor by name.
+
+    Recognised names (after the built-ins register themselves on import):
+    ``"none"``/``"identity"`` (traditional checkpointing), ``"zlib"``,
+    ``"lzma"`` (lossless), ``"sz"`` (prediction-based lossy), ``"zfp"``
+    (transform-based lossy).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_compressors() -> List[str]:
+    """Names of all registered compressors."""
+    return sorted(_REGISTRY)

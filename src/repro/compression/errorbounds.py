@@ -1,0 +1,99 @@
+"""Error-bound specifications for lossy compression.
+
+The paper controls distortion with *relative* error bounds: for the CG and
+Jacobi experiments ``|x_i - x'_i| <= eb * |x_i|`` with ``eb = 1e-4``
+(pointwise relative), and for GMRES an adaptive bound
+``eb = O(||r^(t)|| / ||b||)`` (Theorem 3).  SZ and ZFP additionally support
+absolute and value-range-relative bounds.  :class:`ErrorBound` captures all
+three modes and knows how to resolve itself against a concrete array.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+__all__ = ["ErrorBoundMode", "ErrorBound"]
+
+
+class ErrorBoundMode(str, enum.Enum):
+    """How the scalar bound value is interpreted against the data."""
+
+    #: ``|x - x'| <= value`` for every element.
+    ABSOLUTE = "abs"
+    #: ``|x - x'| <= value * (max(x) - min(x))`` for every element.
+    VALUE_RANGE_RELATIVE = "rel"
+    #: ``|x - x'| <= value * |x|`` for every element (the paper's setting).
+    POINTWISE_RELATIVE = "pw_rel"
+
+
+@dataclass(frozen=True)
+class ErrorBound:
+    """A (mode, value) pair describing the allowed per-element distortion."""
+
+    mode: ErrorBoundMode
+    value: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mode", ErrorBoundMode(self.mode))
+        value = float(self.value)
+        if not np.isfinite(value) or value <= 0.0:
+            raise ValueError(f"error-bound value must be positive and finite, got {value}")
+        object.__setattr__(self, "value", value)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def absolute(cls, value: float) -> "ErrorBound":
+        """Absolute bound: every element may move by at most ``value``."""
+        return cls(ErrorBoundMode.ABSOLUTE, value)
+
+    @classmethod
+    def value_range_relative(cls, value: float) -> "ErrorBound":
+        """Bound relative to the data's value range (SZ's ``REL`` mode)."""
+        return cls(ErrorBoundMode.VALUE_RANGE_RELATIVE, value)
+
+    @classmethod
+    def pointwise_relative(cls, value: float) -> "ErrorBound":
+        """Pointwise relative bound (the paper's ``eb``)."""
+        return cls(ErrorBoundMode.POINTWISE_RELATIVE, value)
+
+    # -- resolution --------------------------------------------------------
+    def absolute_for(self, data: np.ndarray) -> float:
+        """Resolve to a single absolute bound for ``data``.
+
+        For the pointwise-relative mode this returns the *tightest* absolute
+        bound (``value * min|x|`` over nonzero entries), which is what a
+        compressor without native pointwise support must use to stay correct.
+        """
+        data = np.asarray(data, dtype=np.float64)
+        if self.mode is ErrorBoundMode.ABSOLUTE:
+            return self.value
+        if self.mode is ErrorBoundMode.VALUE_RANGE_RELATIVE:
+            if data.size == 0:
+                return self.value
+            value_range = float(np.max(data) - np.min(data))
+            if value_range == 0.0:
+                # Constant data: any positive bound preserves it exactly.
+                return self.value * max(abs(float(data.flat[0])), 1.0)
+            return self.value * value_range
+        # POINTWISE_RELATIVE
+        if data.size == 0:
+            return self.value
+        magnitudes = np.abs(data[data != 0.0])
+        if magnitudes.size == 0:
+            return self.value
+        return self.value * float(np.min(magnitudes))
+
+    def per_element(self, data: np.ndarray) -> np.ndarray:
+        """Resolve to a per-element absolute tolerance array for ``data``."""
+        data = np.asarray(data, dtype=np.float64)
+        if self.mode is ErrorBoundMode.POINTWISE_RELATIVE:
+            return self.value * np.abs(data)
+        return np.full(data.shape, self.absolute_for(data), dtype=np.float64)
+
+    def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
+        return f"{self.mode.value}={self.value:g}"

@@ -1,0 +1,39 @@
+"""Identity (no-compression) codec — the paper's "traditional checkpointing".
+
+The checkpoint manager always goes through a :class:`Compressor`, so the
+baseline scheme is simply a codec that stores the raw little-endian bytes of
+the array.  Keeping it behind the same interface lets every experiment treat
+traditional, lossless and lossy checkpointing identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedBlob, Compressor, register_compressor
+
+__all__ = ["IdentityCompressor"]
+
+
+class IdentityCompressor(Compressor):
+    """Stores arrays verbatim (compression ratio exactly 1)."""
+
+    name = "none"
+    lossless = True
+
+    def _compress_array(self, data: np.ndarray) -> CompressedBlob:
+        contiguous = np.ascontiguousarray(data)
+        return CompressedBlob(
+            payload=contiguous.tobytes(),
+            shape=tuple(data.shape),
+            dtype=np.dtype(data.dtype).str,
+            compressor=self.name,
+        )
+
+    def _decompress_array(self, blob: CompressedBlob) -> np.ndarray:
+        flat = np.frombuffer(blob.payload, dtype=np.dtype(blob.dtype)).copy()
+        return flat.reshape(blob.shape)
+
+
+register_compressor("none", IdentityCompressor)
+register_compressor("identity", IdentityCompressor)

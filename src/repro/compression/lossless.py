@@ -1,0 +1,83 @@
+"""Lossless compressors — the paper's "lossless checkpointing" baseline.
+
+The paper uses Gzip; both Gzip and SZ's own lossless back end are DEFLATE
+based, so :class:`ZlibCompressor` is the faithful stand-in.  An LZMA variant
+is included as a stronger/slower lossless point for the ablation benchmarks.
+Both reproduce the input bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import lzma
+import zlib
+
+import numpy as np
+
+from repro.compression.base import CompressedBlob, Compressor, register_compressor
+
+__all__ = ["ZlibCompressor", "LzmaCompressor"]
+
+
+class ZlibCompressor(Compressor):
+    """DEFLATE (zlib/gzip-family) lossless compressor."""
+
+    name = "zlib"
+    lossless = True
+
+    def __init__(self, level: int = 6) -> None:
+        super().__init__()
+        level = int(level)
+        if not (0 <= level <= 9):
+            raise ValueError(f"level must be in [0, 9], got {level}")
+        self.level = level
+
+    def _compress_array(self, data: np.ndarray) -> CompressedBlob:
+        contiguous = np.ascontiguousarray(data)
+        payload = zlib.compress(contiguous.tobytes(), self.level)
+        return CompressedBlob(
+            payload=payload,
+            shape=tuple(data.shape),
+            dtype=np.dtype(data.dtype).str,
+            compressor=self.name,
+            meta={"level": self.level},
+        )
+
+    def _decompress_array(self, blob: CompressedBlob) -> np.ndarray:
+        raw = zlib.decompress(blob.payload)
+        flat = np.frombuffer(raw, dtype=np.dtype(blob.dtype)).copy()
+        return flat.reshape(blob.shape)
+
+
+class LzmaCompressor(Compressor):
+    """LZMA (xz) lossless compressor — slower, usually higher ratio than zlib."""
+
+    name = "lzma"
+    lossless = True
+
+    def __init__(self, preset: int = 1) -> None:
+        super().__init__()
+        preset = int(preset)
+        if not (0 <= preset <= 9):
+            raise ValueError(f"preset must be in [0, 9], got {preset}")
+        self.preset = preset
+
+    def _compress_array(self, data: np.ndarray) -> CompressedBlob:
+        contiguous = np.ascontiguousarray(data)
+        payload = lzma.compress(contiguous.tobytes(), preset=self.preset)
+        return CompressedBlob(
+            payload=payload,
+            shape=tuple(data.shape),
+            dtype=np.dtype(data.dtype).str,
+            compressor=self.name,
+            meta={"preset": self.preset},
+        )
+
+    def _decompress_array(self, blob: CompressedBlob) -> np.ndarray:
+        raw = lzma.decompress(blob.payload)
+        flat = np.frombuffer(raw, dtype=np.dtype(blob.dtype)).copy()
+        return flat.reshape(blob.shape)
+
+
+register_compressor("zlib", ZlibCompressor)
+register_compressor("gzip", ZlibCompressor)
+register_compressor("lzma", LzmaCompressor)

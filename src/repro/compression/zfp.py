@@ -1,0 +1,185 @@
+"""ZFP-like transform-based, error-bounded lossy compressor.
+
+ZFP (Lindstrom, 2014) partitions data into fixed-size blocks, applies a
+near-orthogonal block transform and encodes the transform coefficients by bit
+planes.  This reproduction keeps the same structure at reduced complexity:
+
+1. split the flattened array into blocks of 64 values (the 4x4x4 block size
+   of real ZFP),
+2. apply an orthonormal DCT-II per block (so coefficient quantization error
+   maps to reconstruction error with a known ``sqrt(block)`` factor),
+3. quantize coefficients with an error-bounded step chosen so the
+   *reconstruction* error respects the requested absolute bound,
+4. zigzag + bit-pack + DEFLATE the coefficient codes.
+
+Pointwise-relative bounds are supported through the same logarithmic
+transform the SZ-like compressor uses, so the checkpointing layer can swap
+SZ-like and ZFP-like compressors freely (the compressor-family ablation in
+``benchmarks/test_bench_ablation_compressors.py``).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+from scipy.fft import dct, idct
+
+from repro.compression.base import CompressedBlob, Compressor, register_compressor
+from repro.compression.encoding import (
+    pack_sections,
+    pack_unsigned,
+    unpack_sections,
+    unpack_unsigned,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.compression.errorbounds import ErrorBound, ErrorBoundMode
+from repro.compression.quantization import QuantizationOverflow, quantize_absolute
+from repro.compression.relative import PointwiseRelativeTransform
+
+__all__ = ["ZFPCompressor"]
+
+
+class ZFPCompressor(Compressor):
+    """Block-transform lossy compressor with a guaranteed error bound.
+
+    Parameters
+    ----------
+    error_bound:
+        :class:`ErrorBound` or a float interpreted as a pointwise relative
+        bound (for symmetry with :class:`~repro.compression.sz.SZCompressor`).
+    block_size:
+        Number of values per transform block (default 64 = 4x4x4).
+    zlib_level:
+        DEFLATE effort for the entropy stage.
+    """
+
+    name = "zfp"
+    lossless = False
+
+    def __init__(
+        self,
+        error_bound: "ErrorBound | float" = 1e-4,
+        *,
+        block_size: int = 64,
+        zlib_level: int = 6,
+    ) -> None:
+        super().__init__()
+        if not isinstance(error_bound, ErrorBound):
+            error_bound = ErrorBound.pointwise_relative(float(error_bound))
+        block_size = int(block_size)
+        if block_size < 2:
+            raise ValueError(f"block_size must be >= 2, got {block_size}")
+        self.error_bound = error_bound
+        self.block_size = block_size
+        self.zlib_level = int(zlib_level)
+
+    def with_error_bound(self, error_bound: "ErrorBound | float") -> "ZFPCompressor":
+        """Return a copy of this compressor with a different error bound."""
+        return ZFPCompressor(
+            error_bound, block_size=self.block_size, zlib_level=self.zlib_level
+        )
+
+    # ------------------------------------------------------------------
+    def _compress_array(self, data: np.ndarray) -> CompressedBlob:
+        flat = np.ascontiguousarray(data, dtype=np.float64).reshape(-1)
+        meta = {"error_bound": self.error_bound.describe(), "block_size": self.block_size}
+        if self.error_bound.mode is ErrorBoundMode.POINTWISE_RELATIVE:
+            transform = PointwiseRelativeTransform.forward(flat, self.error_bound.value)
+            inner, scheme = self._compress_values(transform.log_values, transform.log_bound)
+            if scheme == "raw":
+                payload = self._raw_fallback(flat)
+                meta["scheme"] = "raw"
+            else:
+                neg = np.packbits(transform.negative_mask.astype(np.uint8)).tobytes()
+                zero = np.packbits(transform.zero_mask.astype(np.uint8)).tobytes()
+                count = np.asarray([flat.size], dtype=np.int64).tobytes()
+                payload = zlib.compress(
+                    pack_sections([count, inner, neg, zero]), self.zlib_level
+                )
+                meta["scheme"] = "pw_rel"
+        else:
+            bound = self.error_bound.absolute_for(flat)
+            payload, scheme = self._compress_values(flat, bound)
+            if scheme == "raw":
+                payload = self._raw_fallback(flat)
+            meta["scheme"] = scheme
+        return CompressedBlob(
+            payload=payload,
+            shape=tuple(data.shape),
+            dtype=np.dtype(data.dtype).str,
+            compressor=self.name,
+            meta=meta,
+        )
+
+    def _decompress_array(self, blob: CompressedBlob) -> np.ndarray:
+        scheme = blob.meta.get("scheme", "abs")
+        if scheme == "raw":
+            flat = np.frombuffer(zlib.decompress(blob.payload), dtype=np.float64).copy()
+        elif scheme == "pw_rel":
+            frame = zlib.decompress(blob.payload)
+            count_b, inner, neg_b, zero_b = unpack_sections(frame)
+            count = int(np.frombuffer(count_b, dtype=np.int64)[0])
+            log_recon = self._decompress_values(inner)
+            negative_mask = np.unpackbits(
+                np.frombuffer(neg_b, dtype=np.uint8), count=count
+            ).astype(bool)
+            zero_mask = np.unpackbits(
+                np.frombuffer(zero_b, dtype=np.uint8), count=count
+            ).astype(bool)
+            transform = PointwiseRelativeTransform(
+                log_values=np.empty(int((~zero_mask).sum()), dtype=np.float64),
+                negative_mask=negative_mask,
+                zero_mask=zero_mask,
+                log_bound=0.0,
+            )
+            flat = transform.backward(log_recon)
+        else:
+            flat = self._decompress_values(zlib.decompress(blob.payload), precompressed=True)
+        return flat.astype(np.dtype(blob.dtype), copy=False).reshape(blob.shape)
+
+    # -- block transform core -------------------------------------------
+    def _compress_values(self, values: np.ndarray, bound: float) -> "tuple[bytes, str]":
+        n = values.size
+        block = self.block_size
+        pad = (-n) % block
+        padded = np.pad(values, (0, pad), mode="edge") if pad else values
+        blocks = padded.reshape(-1, block)
+        coeffs = dct(blocks, axis=1, norm="ortho")
+        # Orthonormal transform: an l-inf coefficient error of eps gives an
+        # l-2 (hence l-inf) reconstruction error of at most sqrt(block)*eps,
+        # so quantize with bound / sqrt(block).
+        coeff_bound = bound / np.sqrt(block)
+        try:
+            quantized = quantize_absolute(coeffs.reshape(-1), coeff_bound)
+        except QuantizationOverflow:
+            return b"", "raw"
+        packed = pack_unsigned(zigzag_encode(quantized.codes))
+        header = np.asarray([quantized.quantum], dtype=np.float64).tobytes()
+        sizes = np.asarray([n, block], dtype=np.int64).tobytes()
+        frame = pack_sections([header, sizes, packed])
+        return zlib.compress(frame, self.zlib_level), "zfp"
+
+    def _decompress_values(self, payload: bytes, *, precompressed: bool = False) -> np.ndarray:
+        # The abs path hands us the already-decompressed zlib frame
+        # (precompressed=True); the pw_rel path hands the raw zlib stream.
+        frame = payload if precompressed else zlib.decompress(payload)
+        header, sizes, packed = unpack_sections(frame)
+        quantum = float(np.frombuffer(header, dtype=np.float64)[0])
+        n, block = (int(v) for v in np.frombuffer(sizes, dtype=np.int64))
+        codes_unsigned, _ = unpack_unsigned(packed)
+        codes = zigzag_decode(codes_unsigned)
+        coeffs = codes.astype(np.float64).reshape(-1, block) * quantum
+        values = idct(coeffs, axis=1, norm="ortho").reshape(-1)
+        return values[:n]
+
+    def _raw_fallback(self, flat: np.ndarray) -> bytes:
+        return zlib.compress(flat.astype(np.float64).tobytes(), self.zlib_level)
+
+
+def _make_zfp(**kwargs) -> ZFPCompressor:
+    return ZFPCompressor(**kwargs)
+
+
+register_compressor("zfp", _make_zfp)

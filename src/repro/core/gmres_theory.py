@@ -1,0 +1,93 @@
+"""Theorem 3: the adaptive error-bound policy for GMRES lossy checkpointing.
+
+Theorem 3 of the paper shows that if the pointwise relative error bound used
+to compress the checkpointed iterate satisfies ``eb = O(||r^(t)|| / ||b||)``,
+then the residual of the restart vector stays on the same order as the
+pre-failure residual:
+
+.. math::
+
+    ||r'^{(t)}|| \\lesssim ||r^{(t)}|| + eb \\cdot ||b||
+
+so restarted GMRES resumes without losing ground (expected ``N' = 0``, and in
+practice sometimes accelerates by escaping stagnation).  This module provides
+the bound-selection policy and the residual-jump estimate used by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.errorbounds import ErrorBound
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "adaptive_relative_bound",
+    "residual_jump_bound",
+    "GMRESErrorBoundPolicy",
+]
+
+
+def adaptive_relative_bound(
+    residual_norm: float,
+    b_norm: float,
+    *,
+    safety_factor: float = 1.0,
+    min_bound: float = 1e-12,
+    max_bound: float = 1e-1,
+) -> float:
+    """Theorem 3's error bound ``eb = safety_factor * ||r|| / ||b||``, clipped.
+
+    The clip keeps the bound inside what error-bounded compressors handle
+    robustly; the lower clip matters late in the run when the residual is at
+    the convergence threshold.
+    """
+    residual_norm = check_nonnegative(residual_norm, "residual_norm")
+    b_norm = check_positive(b_norm, "b_norm")
+    safety_factor = check_positive(safety_factor, "safety_factor")
+    raw = safety_factor * residual_norm / b_norm
+    return float(np.clip(raw, min_bound, max_bound))
+
+
+def residual_jump_bound(residual_norm: float, b_norm: float, eb: float) -> float:
+    """Upper bound on the post-restart residual norm (Eq. (14)).
+
+    ``||r'|| <= (1 + eb) ||r|| + eb ||b||`` — the slightly looser intermediate
+    line of the proof, which holds without the final approximation.
+    """
+    residual_norm = check_nonnegative(residual_norm, "residual_norm")
+    b_norm = check_nonnegative(b_norm, "b_norm")
+    eb = check_positive(eb, "eb")
+    return float((1.0 + eb) * residual_norm + eb * b_norm)
+
+
+@dataclass
+class GMRESErrorBoundPolicy:
+    """Callable policy returning the compression bound for the current state.
+
+    Plugged into the lossy checkpointing scheme for GMRES: at every checkpoint
+    the bound is recomputed from the current residual norm, so early
+    checkpoints (large residual) are compressed aggressively while late
+    checkpoints (small residual) are compressed tightly enough not to disturb
+    convergence.
+    """
+
+    safety_factor: float = 1.0
+    min_bound: float = 1e-12
+    max_bound: float = 1e-1
+
+    def bound_value(self, residual_norm: float, b_norm: float) -> float:
+        """The scalar pointwise-relative bound for the current residual."""
+        return adaptive_relative_bound(
+            residual_norm,
+            b_norm,
+            safety_factor=self.safety_factor,
+            min_bound=self.min_bound,
+            max_bound=self.max_bound,
+        )
+
+    def error_bound(self, residual_norm: float, b_norm: float) -> ErrorBound:
+        """Same as :meth:`bound_value` but wrapped as an :class:`ErrorBound`."""
+        return ErrorBound.pointwise_relative(self.bound_value(residual_norm, b_norm))

@@ -1,0 +1,192 @@
+"""The lossy-checkpointing performance model (Section 4.1 and 4.3).
+
+Implements, symbol for symbol, the equations of the paper:
+
+* Young's optimal checkpoint interval ``k * Tit = sqrt(2 * Tf * Tckp)``
+  (Eq. (1));
+* the expected execution time under traditional checkpointing (Eq. (2)) and
+  the corresponding fault-tolerance overhead (Eqs. (3)-(5));
+* the expected execution time and overhead under lossy checkpointing, which
+  adds the mean number ``N'`` of extra iterations per lossy recovery
+  (Eqs. (6)-(8));
+* Theorem 1: the upper bound on ``N'`` for which lossy checkpointing is
+  guaranteed to beat traditional checkpointing.
+
+All functions take the failure rate ``lam = 1/Tf`` in failures per second and
+times in seconds, matching the paper's notation (Table 1 and Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "young_interval",
+    "overhead_function",
+    "expected_overhead_fraction",
+    "expected_total_time",
+    "lossy_expected_overhead_fraction",
+    "lossy_expected_total_time",
+    "max_acceptable_extra_iterations",
+    "CheckpointTimings",
+]
+
+
+def young_interval(checkpoint_seconds: float, mtti_seconds: float) -> float:
+    """Optimal time between checkpoints per Young's formula (Eq. (1)).
+
+    Returns ``sqrt(2 * Tf * Tckp)`` in seconds.
+    """
+    checkpoint_seconds = check_positive(checkpoint_seconds, "checkpoint_seconds")
+    mtti_seconds = check_positive(mtti_seconds, "mtti_seconds")
+    return float(np.sqrt(2.0 * mtti_seconds * checkpoint_seconds))
+
+
+def overhead_function(checkpoint_seconds: float, lam: float) -> float:
+    """The paper's ``f(t, lambda) = sqrt(2*lambda*t) + lambda*t`` (Theorem 1)."""
+    checkpoint_seconds = check_nonnegative(checkpoint_seconds, "checkpoint_seconds")
+    lam = check_nonnegative(lam, "lam")
+    product = lam * checkpoint_seconds
+    return float(np.sqrt(2.0 * product) + product)
+
+
+def _check_stability(denominator: float, context: str) -> None:
+    if denominator <= 0.0:
+        raise ValueError(
+            f"the checkpointing model is unstable for {context}: the failure "
+            "rate and checkpoint cost are so high that no productive progress "
+            "is possible (denominator of the expected-time formula is <= 0)"
+        )
+
+
+def expected_overhead_fraction(lam: float, checkpoint_seconds: float) -> float:
+    """Expected fault-tolerance overhead / productive time (Eq. (5)).
+
+    Assumes ``Trc ~ Tckp`` as the paper does for Figure 1.
+    """
+    f = overhead_function(checkpoint_seconds, lam)
+    _check_stability(1.0 - f, f"lambda={lam:g}, Tckp={checkpoint_seconds:g}")
+    return f / (1.0 - f)
+
+
+def expected_total_time(
+    productive_seconds: float,
+    lam: float,
+    checkpoint_seconds: float,
+    recovery_seconds: Optional[float] = None,
+) -> float:
+    """Expected total execution time under traditional checkpointing (Eq. (2)).
+
+    ``productive_seconds`` is ``N * Tit``.  If ``recovery_seconds`` is None it
+    is approximated by ``checkpoint_seconds`` (the paper's simplification).
+    """
+    productive_seconds = check_nonnegative(productive_seconds, "productive_seconds")
+    lam = check_nonnegative(lam, "lam")
+    checkpoint_seconds = check_nonnegative(checkpoint_seconds, "checkpoint_seconds")
+    if recovery_seconds is None:
+        recovery_seconds = checkpoint_seconds
+    recovery_seconds = check_nonnegative(recovery_seconds, "recovery_seconds")
+    denominator = 1.0 - np.sqrt(2.0 * lam * checkpoint_seconds) - lam * recovery_seconds
+    _check_stability(denominator, f"lambda={lam:g}, Tckp={checkpoint_seconds:g}")
+    return float(productive_seconds / denominator)
+
+
+def lossy_expected_total_time(
+    productive_seconds: float,
+    lam: float,
+    lossy_checkpoint_seconds: float,
+    extra_iterations: float,
+    iteration_seconds: float,
+    recovery_seconds: Optional[float] = None,
+) -> float:
+    """Expected total time under lossy checkpointing (Eq. (6)/(7) rearranged).
+
+    ``extra_iterations`` is the paper's ``N'`` (mean extra iterations per
+    lossy recovery) and ``iteration_seconds`` is ``Tit``.
+    """
+    productive_seconds = check_nonnegative(productive_seconds, "productive_seconds")
+    lam = check_nonnegative(lam, "lam")
+    lossy_checkpoint_seconds = check_nonnegative(
+        lossy_checkpoint_seconds, "lossy_checkpoint_seconds"
+    )
+    extra_iterations = check_nonnegative(extra_iterations, "extra_iterations")
+    iteration_seconds = check_nonnegative(iteration_seconds, "iteration_seconds")
+    if recovery_seconds is None:
+        recovery_seconds = lossy_checkpoint_seconds
+    recovery_seconds = check_nonnegative(recovery_seconds, "recovery_seconds")
+    denominator = (
+        1.0
+        - np.sqrt(2.0 * lam * lossy_checkpoint_seconds)
+        - lam * recovery_seconds
+        - lam * extra_iterations * iteration_seconds
+    )
+    _check_stability(
+        denominator,
+        f"lambda={lam:g}, Tckp={lossy_checkpoint_seconds:g}, N'={extra_iterations:g}",
+    )
+    return float(productive_seconds / denominator)
+
+
+def lossy_expected_overhead_fraction(
+    lam: float,
+    lossy_checkpoint_seconds: float,
+    extra_iterations: float,
+    iteration_seconds: float,
+) -> float:
+    """Expected lossy-checkpointing overhead / productive time (Eq. (8)).
+
+    Uses the paper's simplification ``T_rc^lossy ~ T_ckp^lossy``.
+    """
+    lam = check_nonnegative(lam, "lam")
+    numerator = (
+        overhead_function(lossy_checkpoint_seconds, lam)
+        + lam * check_nonnegative(extra_iterations, "extra_iterations")
+        * check_nonnegative(iteration_seconds, "iteration_seconds")
+    )
+    denominator = 1.0 - numerator
+    _check_stability(
+        denominator,
+        f"lambda={lam:g}, Tckp={lossy_checkpoint_seconds:g}, N'={extra_iterations:g}",
+    )
+    return float(numerator / denominator)
+
+
+def max_acceptable_extra_iterations(
+    traditional_checkpoint_seconds: float,
+    lossy_checkpoint_seconds: float,
+    lam: float,
+    iteration_seconds: float,
+) -> float:
+    """Theorem 1: the largest ``N'`` for which lossy checkpointing still wins.
+
+    Returns ``(f(T_trad, lam) - f(T_lossy, lam)) / (lam * Tit)``.  A negative
+    value means the lossy checkpoint is *more* expensive than the traditional
+    one, so it can never win regardless of convergence impact.
+    """
+    lam = check_positive(lam, "lam")
+    iteration_seconds = check_positive(iteration_seconds, "iteration_seconds")
+    gain = overhead_function(traditional_checkpoint_seconds, lam) - overhead_function(
+        lossy_checkpoint_seconds, lam
+    )
+    return float(gain / (lam * iteration_seconds))
+
+
+@dataclass(frozen=True)
+class CheckpointTimings:
+    """Convenience bundle of per-scheme timings used by the experiment harness."""
+
+    checkpoint_seconds: float
+    recovery_seconds: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative(self.checkpoint_seconds, "checkpoint_seconds")
+        check_nonnegative(self.recovery_seconds, "recovery_seconds")
+
+    def young_interval(self, mtti_seconds: float) -> float:
+        """Optimal checkpoint interval for these timings at the given MTTI."""
+        return young_interval(self.checkpoint_seconds, mtti_seconds)

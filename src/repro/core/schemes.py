@@ -1,0 +1,163 @@
+"""Checkpointing schemes: traditional, lossless-compressed, lossy-compressed.
+
+A scheme bundles everything the fault-tolerance runner needs to know about
+*how* to checkpoint:
+
+* which compressor to run the dynamic variables through (identity for
+  traditional checkpointing, DEFLATE/LZMA for lossless, SZ-like/ZFP-like for
+  lossy),
+* whether the extra Krylov state of non-restarted CG (direction vector ``p``
+  and scalar ``rho``) must be checkpointed as well — the paper checkpoints
+  ``x`` *and* ``p`` under traditional/lossless checkpointing (Algorithm 1)
+  but only ``x`` under lossy checkpointing (Algorithm 2, restarted CG),
+* the error-bound policy: a fixed pointwise-relative bound (Jacobi and CG use
+  ``1e-4``) or the adaptive Theorem-3 policy for GMRES.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.compression.base import Compressor, make_compressor
+from repro.compression.errorbounds import ErrorBound
+from repro.core.gmres_theory import GMRESErrorBoundPolicy
+
+__all__ = ["CheckpointingScheme"]
+
+
+@dataclass
+class CheckpointingScheme:
+    """Configuration of one checkpointing strategy.
+
+    Instances are usually created through the :meth:`traditional`,
+    :meth:`lossless` and :meth:`lossy` constructors, which encode the paper's
+    three evaluated schemes.
+    """
+
+    name: str
+    compressor_factory: Callable[[], Compressor]
+    lossy: bool = False
+    #: Checkpoint CG's direction vector and rho so the Krylov sequence can be
+    #: resumed exactly (the paper's Algorithm 1).  Lossy schemes set this to
+    #: False and restart from ``x`` only (Algorithm 2).
+    checkpoint_krylov_state: bool = True
+    #: Adaptive error-bound policy (Theorem 3); only meaningful for lossy
+    #: schemes driving GMRES.
+    adaptive_policy: Optional[GMRESErrorBoundPolicy] = None
+    #: Extra metadata carried into reports.
+    description: str = ""
+    _cached_compressor: Optional[Compressor] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def traditional(cls) -> "CheckpointingScheme":
+        """No compression; checkpoint every dynamic variable exactly."""
+        return cls(
+            name="traditional",
+            compressor_factory=lambda: make_compressor("none"),
+            lossy=False,
+            checkpoint_krylov_state=True,
+            description="uncompressed checkpoints of all dynamic variables",
+        )
+
+    @classmethod
+    def lossless(cls, *, codec: str = "zlib", level: int = 6) -> "CheckpointingScheme":
+        """Lossless (Gzip-like) compression of all dynamic variables."""
+        if codec == "zlib":
+            factory = lambda: make_compressor("zlib", level=level)  # noqa: E731
+        elif codec == "lzma":
+            factory = lambda: make_compressor("lzma", preset=level)  # noqa: E731
+        else:
+            raise ValueError(f"unknown lossless codec {codec!r}")
+        return cls(
+            name="lossless",
+            compressor_factory=factory,
+            lossy=False,
+            checkpoint_krylov_state=True,
+            description=f"lossless ({codec}) compressed checkpoints",
+        )
+
+    @classmethod
+    def lossy(
+        cls,
+        error_bound: "ErrorBound | float" = 1e-4,
+        *,
+        compressor: str = "sz",
+        adaptive: bool = False,
+        safety_factor: float = 1.0,
+    ) -> "CheckpointingScheme":
+        """Error-bounded lossy compression of the solution vector only.
+
+        Parameters
+        ----------
+        error_bound:
+            Fixed pointwise-relative bound (ignored at checkpoint time when
+            ``adaptive`` is set, but still used as the initial/default bound).
+        compressor:
+            ``"sz"`` (prediction-based, the paper's choice) or ``"zfp"``
+            (transform-based ablation).
+        adaptive:
+            Use the Theorem-3 policy ``eb = ||r||/||b||`` at every checkpoint
+            (the paper's GMRES setting).
+        """
+        if compressor not in ("sz", "zfp"):
+            raise ValueError(f"lossy compressor must be 'sz' or 'zfp', got {compressor!r}")
+        factory = lambda: make_compressor(compressor, error_bound=error_bound)  # noqa: E731
+        policy = GMRESErrorBoundPolicy(safety_factor=safety_factor) if adaptive else None
+        return cls(
+            name="lossy",
+            compressor_factory=factory,
+            lossy=True,
+            checkpoint_krylov_state=False,
+            adaptive_policy=policy,
+            description=(
+                f"lossy ({compressor}) checkpoints, "
+                + ("adaptive Theorem-3 bound" if adaptive else f"bound {error_bound!r}")
+            ),
+        )
+
+    # -- helpers -----------------------------------------------------------------
+    @property
+    def uses_compression(self) -> bool:
+        """True when a (lossless or lossy) compression stage is modeled."""
+        return self.name != "traditional"
+
+    def compressor(self) -> Compressor:
+        """The (cached) compressor instance for this scheme."""
+        if self._cached_compressor is None:
+            self._cached_compressor = self.compressor_factory()
+        return self._cached_compressor
+
+    def checkpoint_compressor(
+        self, *, residual_norm: Optional[float] = None, b_norm: Optional[float] = None
+    ) -> Compressor:
+        """Compressor to use for the next checkpoint.
+
+        Applies the adaptive Theorem-3 policy when configured and the current
+        residual information is available.
+        """
+        base = self.compressor()
+        if (
+            self.adaptive_policy is not None
+            and residual_norm is not None
+            and b_norm is not None
+            and hasattr(base, "with_error_bound")
+        ):
+            bound = self.adaptive_policy.error_bound(residual_norm, b_norm)
+            return base.with_error_bound(bound)
+        return base
+
+    def dynamic_vector_count(self, method: str) -> int:
+        """How many full-length dynamic vectors this scheme checkpoints.
+
+        CG needs two vectors (``x`` and ``p``) under exact schemes but only
+        ``x`` under the lossy restarted scheme; every other method checkpoints
+        just ``x``.  Used to model paper-scale checkpoint sizes (Table 3 shows
+        CG's traditional/lossless checkpoints at twice the size).
+        """
+        if method in ("cg", "bicgstab") and self.checkpoint_krylov_state:
+            return 2
+        return 1

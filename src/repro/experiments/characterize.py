@@ -1,0 +1,141 @@
+"""Shared characterization helpers used by Table 3 and Figures 4-8, 10.
+
+The paper first measures the *mean size and time of one checkpoint/recovery*
+for every method/scheme at a fixed checkpoint frequency (Section 5.3), and
+then feeds those numbers into the optimal-interval experiments (Section 5.4).
+These helpers reproduce that two-step methodology:
+
+* :func:`measure_scheme_ratio` runs the solver failure-free, samples the
+  iterate at a few points of the run, pushes each sample through the scheme's
+  compressor and returns the mean compression ratio actually achieved;
+* :func:`scheme_timings` converts a measured ratio into modeled paper-scale
+  checkpoint and recovery seconds via the cluster model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.machine import ClusterModel
+from repro.core.model import CheckpointTimings
+from repro.core.scale import ExperimentScale
+from repro.core.schemes import CheckpointingScheme
+from repro.solvers.base import IterativeSolver
+
+__all__ = ["SchemeCharacterization", "measure_scheme_ratio", "scheme_timings"]
+
+
+@dataclass
+class SchemeCharacterization:
+    """Measured compression behaviour of one scheme on one solver run."""
+
+    scheme: str
+    method: str
+    mean_ratio: float
+    ratios: List[float]
+    baseline_iterations: int
+
+    @property
+    def min_ratio(self) -> float:
+        """Smallest per-sample ratio (the most conservative checkpoint)."""
+        return float(min(self.ratios)) if self.ratios else 1.0
+
+
+def measure_scheme_ratio(
+    solver: IterativeSolver,
+    b: np.ndarray,
+    scheme: CheckpointingScheme,
+    *,
+    method: Optional[str] = None,
+    sample_fractions: Sequence[float] = (0.25, 0.5, 0.75),
+    x0: Optional[np.ndarray] = None,
+) -> SchemeCharacterization:
+    """Measure the scheme's compression ratio on representative iterates.
+
+    The solver is run once failure-free; the iterate is captured at the given
+    fractions of the run and compressed with the scheme's compressor (using
+    the adaptive Theorem-3 bound where the scheme defines one).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    baseline = solver.solve(b, x0=x0)
+    n_iters = max(1, baseline.iterations)
+    targets = sorted(
+        {max(1, min(n_iters - 1, int(round(f * n_iters)))) for f in sample_fractions}
+    ) or [1]
+
+    snapshots: Dict[int, tuple] = {}
+
+    def capture(state) -> None:
+        if state.iteration in wanted:
+            snapshots[state.iteration] = (state.x, state.residual_norm)
+
+    wanted = set(targets)
+    solver.solve(b, x0=x0, callback=capture)
+
+    b_norm = float(np.linalg.norm(b))
+    ratios: List[float] = []
+    for iteration in targets:
+        if iteration not in snapshots:
+            continue
+        x_sample, residual_norm = snapshots[iteration]
+        compressor = scheme.checkpoint_compressor(
+            residual_norm=residual_norm, b_norm=b_norm
+        )
+        blob = compressor.compress(x_sample)
+        ratios.append(blob.compression_ratio)
+    if not ratios:
+        ratios = [1.0]
+    return SchemeCharacterization(
+        scheme=scheme.name,
+        method=method or solver.name,
+        mean_ratio=float(np.mean(ratios)),
+        ratios=ratios,
+        baseline_iterations=baseline.iterations,
+    )
+
+
+def scheme_timings(
+    scheme: CheckpointingScheme,
+    method: str,
+    ratio: float,
+    scale: ExperimentScale,
+    cluster: ClusterModel,
+) -> CheckpointTimings:
+    """Modeled paper-scale checkpoint and recovery seconds for one scheme.
+
+    ``ratio`` is the measured compression ratio; the number of dynamic vectors
+    follows the scheme (CG checkpoints ``x`` and ``p`` under exact schemes but
+    only ``x`` under lossy checkpointing).
+    """
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    vectors = scheme.dynamic_vector_count(method)
+    uncompressed = scale.vector_bytes * vectors
+    compressed = uncompressed / ratio
+    checkpoint_seconds = cluster.checkpoint_seconds(
+        uncompressed, compressed, compressed=scheme.uses_compression
+    )
+    recovery_seconds = cluster.recovery_seconds(
+        uncompressed,
+        compressed,
+        static_bytes=scale.static_bytes,
+        compressed=scheme.uses_compression,
+    )
+    return CheckpointTimings(
+        checkpoint_seconds=checkpoint_seconds, recovery_seconds=recovery_seconds
+    )
+
+
+def standard_schemes(
+    error_bound: float = 1e-4, *, adaptive_gmres: bool = True, method: str = "jacobi"
+) -> List[CheckpointingScheme]:
+    """The paper's three schemes, with the GMRES adaptive bound when relevant."""
+    adaptive = adaptive_gmres and method == "gmres"
+    return [
+        CheckpointingScheme.traditional(),
+        CheckpointingScheme.lossless(),
+        CheckpointingScheme.lossy(error_bound, adaptive=adaptive),
+    ]

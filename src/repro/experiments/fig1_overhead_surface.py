@@ -1,0 +1,67 @@
+"""Figure 1: expected fault-tolerance overhead vs failure rate and checkpoint cost.
+
+The paper plots Eq. (5) — the expected checkpoint/recovery overhead relative
+to productive time — over failure rates from 0 to 3.5 per hour and checkpoint
+times from 0 to 140 seconds, to motivate why shrinking the checkpoint matters
+more as machines get larger and less reliable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.model import expected_overhead_fraction
+from repro.utils.tables import format_table
+
+__all__ = ["Fig1Result", "run_fig1", "fig1_table"]
+
+
+@dataclass
+class Fig1Result:
+    """The overhead surface: one row per failure rate, one column per Tckp."""
+
+    failure_rates_per_hour: List[float]
+    checkpoint_seconds: List[float]
+    #: overhead_fraction[i][j] for failure rate i and checkpoint time j.
+    overhead_fraction: List[List[float]] = field(default_factory=list)
+
+    def at(self, rate_per_hour: float, tckp: float) -> float:
+        """Overhead fraction at the grid point closest to the given values."""
+        i = int(np.argmin(np.abs(np.asarray(self.failure_rates_per_hour) - rate_per_hour)))
+        j = int(np.argmin(np.abs(np.asarray(self.checkpoint_seconds) - tckp)))
+        return self.overhead_fraction[i][j]
+
+
+def run_fig1(
+    *,
+    failure_rates_per_hour: Sequence[float] = (0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5),
+    checkpoint_seconds: Sequence[float] = (10, 20, 40, 60, 80, 100, 120, 140),
+) -> Fig1Result:
+    """Evaluate Eq. (5) on the requested grid of (failure rate, Tckp)."""
+    result = Fig1Result(
+        failure_rates_per_hour=[float(r) for r in failure_rates_per_hour],
+        checkpoint_seconds=[float(t) for t in checkpoint_seconds],
+    )
+    for rate in result.failure_rates_per_hour:
+        lam = rate / 3600.0
+        row = [
+            expected_overhead_fraction(lam, tckp) for tckp in result.checkpoint_seconds
+        ]
+        result.overhead_fraction.append(row)
+    return result
+
+
+def fig1_table(result: Fig1Result) -> str:
+    """Render the overhead surface as a text table (percent)."""
+    headers = ["failures/hour"] + [f"Tckp={t:g}s" for t in result.checkpoint_seconds]
+    rows = []
+    for rate, row in zip(result.failure_rates_per_hour, result.overhead_fraction):
+        rows.append([rate] + [f"{100 * v:.1f}%" for v in row])
+    return format_table(
+        headers,
+        rows,
+        title="Figure 1 — expected fault tolerance overhead (Eq. 5)",
+    )

@@ -1,0 +1,108 @@
+"""Figures 4, 5, 6: average checkpoint and recovery time per scheme and scale.
+
+Figure 4 reports the mean time of one checkpoint and one recovery for the
+Jacobi method under traditional / lossless / lossy checkpointing across
+256 - 2,048 processes; Figures 5 and 6 do the same for GMRES and CG.  In the
+reproduction the compression ratios are measured on the real (reduced-size)
+iterates and the times come from the calibrated cluster model — the same
+two-step methodology as the paper's Section 5.3 characterization runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.machine import ClusterModel
+from repro.core.scale import paper_scale
+from repro.experiments.characterize import measure_scheme_ratio, scheme_timings, standard_schemes
+from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, method_problem, method_solver
+from repro.utils.tables import format_table
+
+__all__ = ["Fig456Result", "run_fig456", "fig456_table", "FIGURE_FOR_METHOD"]
+
+#: Which paper figure corresponds to which method.
+FIGURE_FOR_METHOD = {"jacobi": "Figure 4", "gmres": "Figure 5", "cg": "Figure 6"}
+
+PAPER_SCHEMES = ("traditional", "lossless", "lossy")
+
+
+@dataclass
+class Fig456Result:
+    """Checkpoint/recovery seconds per (process count, scheme) for one method."""
+
+    method: str
+    process_counts: List[int]
+    ratios: Dict[str, float] = field(default_factory=dict)
+    checkpoint_seconds: Dict[Tuple[int, str], float] = field(default_factory=dict)
+    recovery_seconds: Dict[Tuple[int, str], float] = field(default_factory=dict)
+    baseline_iterations: int = 0
+
+    def checkpoint(self, processes: int, scheme: str) -> float:
+        """Modeled seconds of one checkpoint for the given configuration."""
+        return self.checkpoint_seconds[(int(processes), scheme)]
+
+    def recovery(self, processes: int, scheme: str) -> float:
+        """Modeled seconds of one recovery for the given configuration."""
+        return self.recovery_seconds[(int(processes), scheme)]
+
+
+def run_fig456(
+    config: ExperimentConfig = SMALL_CONFIG,
+    *,
+    method: str = "jacobi",
+    process_counts: Sequence[int] = None,
+) -> Fig456Result:
+    """Characterize one method's checkpoint/recovery times across scales."""
+    process_counts = list(config.process_counts if process_counts is None else process_counts)
+    problem = method_problem(config, method)
+    solver = method_solver(config, method, problem)
+
+    result = Fig456Result(method=method, process_counts=[int(p) for p in process_counts])
+    schemes = standard_schemes(config.error_bound, method=method)
+    characterizations = {}
+    for scheme in schemes:
+        char = measure_scheme_ratio(solver, problem.b, scheme, method=method)
+        characterizations[scheme.name] = (scheme, char)
+        result.ratios[scheme.name] = char.mean_ratio
+        result.baseline_iterations = char.baseline_iterations
+
+    for processes in result.process_counts:
+        scale = paper_scale(processes)
+        cluster = ClusterModel(num_processes=processes)
+        for scheme_name, (scheme, char) in characterizations.items():
+            timings = scheme_timings(scheme, method, char.mean_ratio, scale, cluster)
+            result.checkpoint_seconds[(processes, scheme_name)] = timings.checkpoint_seconds
+            result.recovery_seconds[(processes, scheme_name)] = timings.recovery_seconds
+    return result
+
+
+def fig456_table(result: Fig456Result) -> str:
+    """Render one method's checkpoint/recovery time table."""
+    figure = FIGURE_FOR_METHOD.get(result.method, "Figure 4/5/6")
+    headers = ["procs"]
+    for scheme in PAPER_SCHEMES:
+        headers.append(f"ckpt {scheme}")
+    for scheme in PAPER_SCHEMES:
+        headers.append(f"recov {scheme}")
+    rows = []
+    for processes in result.process_counts:
+        row = [processes]
+        row.extend(
+            f"{result.checkpoint(processes, scheme):.1f}" for scheme in PAPER_SCHEMES
+        )
+        row.extend(
+            f"{result.recovery(processes, scheme):.1f}" for scheme in PAPER_SCHEMES
+        )
+        rows.append(row)
+    ratio_note = ", ".join(
+        f"{scheme}: ratio {result.ratios[scheme]:.1f}" for scheme in PAPER_SCHEMES
+    )
+    return format_table(
+        headers,
+        rows,
+        title=(
+            f"{figure} — {result.method} mean checkpoint/recovery time in seconds "
+            f"({ratio_note})"
+        ),
+    )

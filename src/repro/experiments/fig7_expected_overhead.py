@@ -1,0 +1,144 @@
+"""Figure 7: expected fault-tolerance overhead across scales, MTTI 1 h and 3 h.
+
+For every process count and every method x scheme combination the paper
+evaluates the performance model (Eq. (4) for exact schemes, Eq. (8) for the
+lossy scheme) using the measured checkpoint times and the per-method extra
+iteration expectation: Theorem 2 for Jacobi (about 6 iterations with
+``N = 3941``, ``eb = 1e-4``, ``R ~ 0.99998``), 0 for GMRES (Theorem 3) and
+25 % of the total iterations for CG (the empirical Figure 2 value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.machine import (
+    ClusterModel,
+    PAPER_BASELINE_ITERATIONS,
+    PAPER_ITERATION_SECONDS,
+)
+from repro.core.model import expected_overhead_fraction, lossy_expected_overhead_fraction
+from repro.core.scale import paper_scale
+from repro.core.stationary_theory import expected_extra_iterations_interval
+from repro.experiments.characterize import measure_scheme_ratio, scheme_timings, standard_schemes
+from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, method_problem, method_solver
+from repro.utils.tables import format_table
+
+__all__ = ["Fig7Result", "run_fig7", "fig7_table", "paper_expected_extra_iterations"]
+
+PAPER_METHODS = ("jacobi", "gmres", "cg")
+PAPER_SCHEMES = ("traditional", "lossless", "lossy")
+
+#: The paper's Jacobi spectral-radius estimate for the Theorem-2 expectation.
+PAPER_JACOBI_SPECTRAL_RADIUS = 0.99998
+#: The paper's CG lossy-recovery delay (25% of the total iterations).
+PAPER_CG_EXTRA_FRACTION = 0.25
+
+
+def paper_expected_extra_iterations(method: str, *, error_bound: float = 1e-4) -> float:
+    """The N' value the paper plugs into Eq. (8) for each method."""
+    if method == "jacobi":
+        total = PAPER_BASELINE_ITERATIONS["jacobi"]
+        interval = expected_extra_iterations_interval(
+            total, PAPER_JACOBI_SPECTRAL_RADIUS, error_bound
+        )
+        return float(sum(interval) / 2.0)
+    if method == "gmres":
+        return 0.0
+    if method == "cg":
+        return PAPER_CG_EXTRA_FRACTION * PAPER_BASELINE_ITERATIONS["cg"]
+    raise ValueError(f"unknown method {method!r}")
+
+
+@dataclass
+class Fig7Result:
+    """Expected overhead fraction per (MTTI, process count, method, scheme)."""
+
+    mtti_hours: List[float]
+    process_counts: List[int]
+    methods: List[str]
+    overhead: Dict[Tuple[float, int, str, str], float] = field(default_factory=dict)
+    extra_iterations: Dict[str, float] = field(default_factory=dict)
+
+    def value(self, mtti_hours: float, processes: int, method: str, scheme: str) -> float:
+        """Expected overhead fraction for one configuration."""
+        return self.overhead[(float(mtti_hours), int(processes), method, scheme)]
+
+
+def run_fig7(
+    config: ExperimentConfig = SMALL_CONFIG,
+    *,
+    mtti_hours: Sequence[float] = (1.0, 3.0),
+    methods: Sequence[str] = PAPER_METHODS,
+) -> Fig7Result:
+    """Evaluate the expected-overhead model across scales and failure rates."""
+    result = Fig7Result(
+        mtti_hours=[float(h) for h in mtti_hours],
+        process_counts=[int(p) for p in config.process_counts],
+        methods=[str(m) for m in methods],
+    )
+    characterizations = {}
+    for method in result.methods:
+        problem = method_problem(config, method)
+        solver = method_solver(config, method, problem)
+        for scheme in standard_schemes(config.error_bound, method=method):
+            char = measure_scheme_ratio(solver, problem.b, scheme, method=method)
+            characterizations[(method, scheme.name)] = (scheme, char)
+        result.extra_iterations[method] = paper_expected_extra_iterations(
+            method, error_bound=config.error_bound
+        )
+
+    for mtti_h in result.mtti_hours:
+        lam = 1.0 / (mtti_h * 3600.0)
+        for processes in result.process_counts:
+            scale = paper_scale(processes)
+            cluster = ClusterModel(num_processes=processes)
+            for method in result.methods:
+                iteration_seconds = PAPER_ITERATION_SECONDS[method]
+                for scheme_name in PAPER_SCHEMES:
+                    scheme, char = characterizations[(method, scheme_name)]
+                    timings = scheme_timings(
+                        scheme, method, char.mean_ratio, scale, cluster
+                    )
+                    if scheme_name == "lossy":
+                        overhead = lossy_expected_overhead_fraction(
+                            lam,
+                            timings.checkpoint_seconds,
+                            result.extra_iterations[method],
+                            iteration_seconds,
+                        )
+                    else:
+                        overhead = expected_overhead_fraction(
+                            lam, timings.checkpoint_seconds
+                        )
+                    result.overhead[(mtti_h, processes, method, scheme_name)] = overhead
+    return result
+
+
+def fig7_table(result: Fig7Result) -> str:
+    """Render the expected overhead (percent) for every configuration."""
+    tables = []
+    for mtti_h in result.mtti_hours:
+        headers = ["procs"] + [
+            f"{method}-{scheme[:5]}"
+            for method in result.methods
+            for scheme in PAPER_SCHEMES
+        ]
+        rows = []
+        for processes in result.process_counts:
+            row = [processes]
+            for method in result.methods:
+                for scheme in PAPER_SCHEMES:
+                    row.append(
+                        f"{100 * result.value(mtti_h, processes, method, scheme):.1f}%"
+                    )
+            rows.append(row)
+        tables.append(
+            format_table(
+                headers,
+                rows,
+                title=f"Figure 7 — expected fault tolerance overhead, MTTI = {mtti_h:g} hour(s)",
+            )
+        )
+    return "\n\n".join(tables)

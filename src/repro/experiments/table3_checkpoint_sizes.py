@@ -1,0 +1,98 @@
+"""Table 3: problem sizes and per-process checkpoint sizes.
+
+For every weak-scaling configuration (256 ... 2,048 processes) and every
+method (Jacobi, GMRES, CG) the paper reports the per-process checkpoint size
+under traditional, lossless and lossy checkpointing.  The reproduction
+measures the compression ratio actually achieved by each scheme on the
+method's iterates (at reduced grid size) and converts it to a paper-scale
+per-process size: one (or two, for CG under exact schemes) full vectors per
+process divided by the measured ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.scale import paper_scale
+from repro.experiments.characterize import measure_scheme_ratio, standard_schemes
+from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, method_problem, method_solver
+from repro.utils.tables import format_table
+
+__all__ = ["Table3Result", "run_table3", "table3_table"]
+
+_MB = 1024.0**2
+
+PAPER_METHODS = ("jacobi", "gmres", "cg")
+PAPER_SCHEMES = ("traditional", "lossless", "lossy")
+
+
+@dataclass
+class Table3Result:
+    """Per-process checkpoint sizes (MB) and the ratios behind them."""
+
+    process_counts: List[int]
+    methods: List[str]
+    #: measured compression ratio per (method, scheme).
+    ratios: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: per-process checkpoint size in MB per (process count, method, scheme).
+    sizes_mb: Dict[Tuple[int, str, str], float] = field(default_factory=dict)
+    #: paper-scale grid edge per process count.
+    grid_n: Dict[int, int] = field(default_factory=dict)
+
+    def size_mb(self, processes: int, method: str, scheme: str) -> float:
+        """Per-process checkpoint size in MB for one configuration."""
+        return self.sizes_mb[(int(processes), method, scheme)]
+
+
+def run_table3(
+    config: ExperimentConfig = SMALL_CONFIG,
+    *,
+    methods: Sequence[str] = PAPER_METHODS,
+) -> Table3Result:
+    """Measure scheme ratios per method and model the per-process sizes."""
+    result = Table3Result(
+        process_counts=[int(p) for p in config.process_counts],
+        methods=[str(m) for m in methods],
+    )
+    characterizations = {}
+    for method in result.methods:
+        problem = method_problem(config, method)
+        solver = method_solver(config, method, problem)
+        for scheme in standard_schemes(config.error_bound, method=method):
+            char = measure_scheme_ratio(solver, problem.b, scheme, method=method)
+            characterizations[(method, scheme.name)] = (scheme, char)
+            result.ratios[(method, scheme.name)] = char.mean_ratio
+
+    for processes in result.process_counts:
+        scale = paper_scale(processes)
+        result.grid_n[processes] = scale.grid_n
+        for method in result.methods:
+            for scheme_name in PAPER_SCHEMES:
+                scheme, char = characterizations[(method, scheme_name)]
+                vectors = scheme.dynamic_vector_count(method)
+                per_process_bytes = (
+                    scale.vector_bytes * vectors / char.mean_ratio / processes
+                )
+                result.sizes_mb[(processes, method, scheme_name)] = per_process_bytes / _MB
+    return result
+
+
+def table3_table(result: Table3Result) -> str:
+    """Render Table 3 (per-process checkpoint size in MB)."""
+    headers = ["procs", "problem size"]
+    for scheme in PAPER_SCHEMES:
+        for method in result.methods:
+            headers.append(f"{scheme[:5]}.{method}")
+    rows = []
+    for processes in result.process_counts:
+        row = [processes, f"{result.grid_n[processes]}^3"]
+        for scheme in PAPER_SCHEMES:
+            for method in result.methods:
+                row.append(f"{result.size_mb(processes, method, scheme):.2f}")
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title="Table 3 — per-process checkpoint size (MB) by scheme and method",
+    )

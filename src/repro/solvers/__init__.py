@@ -1,0 +1,53 @@
+"""Iterative linear solvers (the paper's PETSc substitute).
+
+Implemented from scratch on NumPy/SciPy sparse primitives:
+
+* stationary methods: Jacobi, Gauss-Seidel, SOR, SSOR
+  (:mod:`repro.solvers.stationary`),
+* Krylov methods: (preconditioned) conjugate gradient, restarted GMRES(k),
+  BiCGSTAB (:mod:`repro.solvers.cg`, :mod:`repro.solvers.gmres`,
+  :mod:`repro.solvers.bicgstab`).
+
+All solvers share the :class:`~repro.solvers.base.IterativeSolver` interface:
+they are configured once with the matrix/preconditioner/tolerances and expose
+``solve(b, x0=..., callback=...)``; the per-iteration callback is the hook the
+fault-tolerance layer uses to take checkpoints and to inject failures.
+"""
+
+from repro.solvers.base import (
+    IterativeSolver,
+    SolveResult,
+    IterationState,
+    ConvergenceCriterion,
+    SolverInterrupt,
+    make_solver,
+    register_solver,
+    available_solvers,
+)
+from repro.solvers.stationary import (
+    JacobiSolver,
+    GaussSeidelSolver,
+    SORSolver,
+    SSORSolver,
+)
+from repro.solvers.cg import CGSolver
+from repro.solvers.gmres import GMRESSolver
+from repro.solvers.bicgstab import BiCGStabSolver
+
+__all__ = [
+    "IterativeSolver",
+    "SolveResult",
+    "IterationState",
+    "ConvergenceCriterion",
+    "SolverInterrupt",
+    "make_solver",
+    "register_solver",
+    "available_solvers",
+    "JacobiSolver",
+    "GaussSeidelSolver",
+    "SORSolver",
+    "SSORSolver",
+    "CGSolver",
+    "GMRESSolver",
+    "BiCGStabSolver",
+]

@@ -1,0 +1,261 @@
+"""Common solver infrastructure: results, convergence tests, callbacks.
+
+Design notes
+------------
+The fault-tolerance layer (``repro.core``) drives solvers through a
+*per-iteration callback*: the callback receives an :class:`IterationState`
+(iteration index, a copy of the current approximate solution and the current
+residual norm) and may raise :class:`SolverInterrupt` to stop the solve —
+that is how an injected failure "kills" the execution.  After a (possibly
+lossy) recovery the runner simply calls ``solve`` again with the recovered
+vector as the new initial guess, which is exactly the restarted-CG /
+restarted-GMRES scheme the paper adopts (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.precond.base import IdentityPreconditioner, Preconditioner
+from repro.utils.validation import check_positive, check_square_matrix, check_vector
+
+__all__ = [
+    "ConvergenceCriterion",
+    "IterationState",
+    "SolveResult",
+    "SolverInterrupt",
+    "IterativeSolver",
+    "register_solver",
+    "make_solver",
+    "available_solvers",
+]
+
+
+class SolverInterrupt(Exception):
+    """Raised from a callback to stop a solve (e.g. an injected failure).
+
+    Attributes
+    ----------
+    iteration:
+        The iteration index at which the solve was interrupted.
+    """
+
+    def __init__(self, iteration: int, message: str = "solver interrupted") -> None:
+        super().__init__(message)
+        self.iteration = int(iteration)
+
+
+@dataclass(frozen=True)
+class ConvergenceCriterion:
+    """PETSc-style convergence test ``||r|| <= max(rtol * ||b||, atol)``.
+
+    ``rtol`` is the relative tolerance the paper quotes per method
+    (1e-4 Jacobi, 7e-5 GMRES, 1e-7 CG); ``atol`` is an absolute floor;
+    ``divtol`` flags divergence when the residual grows by that factor over
+    the reference norm.
+    """
+
+    rtol: float = 1e-5
+    atol: float = 0.0
+    divtol: float = 1e8
+
+    def __post_init__(self) -> None:
+        check_positive(self.rtol, "rtol")
+        if self.atol < 0:
+            raise ValueError(f"atol must be non-negative, got {self.atol}")
+        check_positive(self.divtol, "divtol")
+
+    def threshold(self, b_norm: float) -> float:
+        """Absolute residual-norm threshold for right-hand-side norm ``b_norm``."""
+        return max(self.rtol * b_norm, self.atol)
+
+    def has_converged(self, residual_norm: float, b_norm: float) -> bool:
+        """True when the residual satisfies the tolerance."""
+        return residual_norm <= self.threshold(b_norm)
+
+    def has_diverged(self, residual_norm: float, b_norm: float) -> bool:
+        """True when the residual exceeds the divergence guard."""
+        reference = b_norm if b_norm > 0 else 1.0
+        return not np.isfinite(residual_norm) or residual_norm > self.divtol * reference
+
+
+@dataclass
+class IterationState:
+    """Snapshot handed to per-iteration callbacks."""
+
+    iteration: int
+    x: np.ndarray
+    residual_norm: float
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+Callback = Callable[[IterationState], None]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one ``solve`` call."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norms: List[float]
+    solver: str
+    b_norm: float
+    info: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def final_residual_norm(self) -> float:
+        """Residual norm at the last recorded iteration."""
+        return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+    @property
+    def relative_residual(self) -> float:
+        """Final residual norm divided by ``||b||`` (or itself if ``b`` is 0)."""
+        if self.b_norm == 0:
+            return self.final_residual_norm
+        return self.final_residual_norm / self.b_norm
+
+
+class IterativeSolver(abc.ABC):
+    """Base class for all iterative solvers.
+
+    Parameters
+    ----------
+    A:
+        Square sparse system matrix.
+    preconditioner:
+        Optional :class:`~repro.precond.base.Preconditioner`; identity if None.
+    rtol, atol, max_iter:
+        Convergence controls (see :class:`ConvergenceCriterion`).
+    """
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        A,
+        *,
+        preconditioner: Optional[Preconditioner] = None,
+        rtol: float = 1e-5,
+        atol: float = 0.0,
+        max_iter: int = 10000,
+    ) -> None:
+        self.A = check_square_matrix(A)
+        self.n = self.A.shape[0]
+        self.preconditioner = preconditioner or IdentityPreconditioner(self.A)
+        if self.preconditioner.n != self.n:
+            raise ValueError("preconditioner size does not match the matrix")
+        self.criterion = ConvergenceCriterion(rtol=rtol, atol=atol)
+        max_iter = int(max_iter)
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        self.max_iter = max_iter
+
+    # -- public API --------------------------------------------------------
+    def solve(
+        self,
+        b: np.ndarray,
+        *,
+        x0: Optional[np.ndarray] = None,
+        callback: Optional[Callback] = None,
+        max_iter: Optional[int] = None,
+        iteration_offset: int = 0,
+    ) -> SolveResult:
+        """Solve ``A x = b`` starting from ``x0`` (zero vector by default).
+
+        ``iteration_offset`` shifts the iteration indices reported to the
+        callback and in the result — used by the fault-tolerance runner so a
+        restarted solve keeps counting from where the failed one stopped.
+        """
+        b = check_vector(b, "b")
+        if b.size != self.n:
+            raise ValueError(f"b has length {b.size}, expected {self.n}")
+        if x0 is None:
+            x0 = np.zeros(self.n, dtype=np.float64)
+        else:
+            x0 = check_vector(x0, "x0").copy()
+            if x0.size != self.n:
+                raise ValueError(f"x0 has length {x0.size}, expected {self.n}")
+        limit = self.max_iter if max_iter is None else int(max_iter)
+        if limit < 0:
+            raise ValueError(f"max_iter must be >= 0, got {limit}")
+        return self._solve(
+            b, x0, callback=callback, max_iter=limit, iteration_offset=int(iteration_offset)
+        )
+
+    def residual_norm(self, b: np.ndarray, x: np.ndarray) -> float:
+        """True residual norm ``||b - A x||_2``."""
+        return float(np.linalg.norm(b - self.A @ x))
+
+    # -- subclass hook -------------------------------------------------------
+    @abc.abstractmethod
+    def _solve(
+        self,
+        b: np.ndarray,
+        x0: np.ndarray,
+        *,
+        callback: Optional[Callback],
+        max_iter: int,
+        iteration_offset: int,
+    ) -> SolveResult:
+        """Run the iteration; inputs are validated."""
+
+    # -- helpers for subclasses ----------------------------------------------
+    def _emit(
+        self,
+        callback: Optional[Callback],
+        iteration: int,
+        x: np.ndarray,
+        residual_norm: float,
+        **extras,
+    ) -> None:
+        """Invoke the callback (if any) with a defensive copy of ``x``."""
+        if callback is None:
+            return
+        callback(
+            IterationState(
+                iteration=iteration,
+                x=x.copy(),
+                residual_norm=float(residual_norm),
+                extras=dict(extras),
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n={self.n}, rtol={self.criterion.rtol}, "
+            f"max_iter={self.max_iter})"
+        )
+
+
+_REGISTRY: Dict[str, Callable[..., IterativeSolver]] = {}
+
+
+def register_solver(name: str, factory: Callable[..., IterativeSolver]) -> None:
+    """Register a solver factory under ``name`` for :func:`make_solver`."""
+    _REGISTRY[name] = factory
+
+
+def make_solver(name: str, A, **kwargs) -> IterativeSolver:
+    """Instantiate a registered solver for matrix ``A``.
+
+    Registered names: ``"jacobi"``, ``"gauss_seidel"``, ``"sor"``, ``"ssor"``,
+    ``"cg"``, ``"gmres"``, ``"bicgstab"``.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown solver {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(A, **kwargs)
+
+
+def available_solvers() -> List[str]:
+    """Names of all registered solvers."""
+    return sorted(_REGISTRY)

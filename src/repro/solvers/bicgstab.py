@@ -1,0 +1,112 @@
+"""BiCGSTAB — stabilised bi-conjugate gradients (van der Vorst).
+
+Not evaluated in the paper; included as an extension so the lossy
+checkpointing scheme can be exercised on a short-recurrence nonsymmetric
+Krylov method (see the ablation benchmarks).  Like restarted CG, a lossy
+recovery simply restarts BiCGSTAB from the decompressed iterate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.solvers.base import (
+    Callback,
+    IterativeSolver,
+    SolveResult,
+    register_solver,
+)
+
+__all__ = ["BiCGStabSolver"]
+
+
+class BiCGStabSolver(IterativeSolver):
+    """Preconditioned BiCGSTAB for general (nonsymmetric) systems."""
+
+    name = "bicgstab"
+
+    def _solve(
+        self,
+        b: np.ndarray,
+        x0: np.ndarray,
+        *,
+        callback: Optional[Callback],
+        max_iter: int,
+        iteration_offset: int,
+    ) -> SolveResult:
+        A = self.A
+        M = self.preconditioner
+        x = x0
+        b_norm = float(np.linalg.norm(b))
+
+        r = b - A @ x
+        r_hat = r.copy()
+        res = float(np.linalg.norm(r))
+        residual_norms = [res]
+        converged = self.criterion.has_converged(res, b_norm)
+
+        rho_old = 1.0
+        alpha = 1.0
+        omega = 1.0
+        v = np.zeros_like(r)
+        p = np.zeros_like(r)
+        iterations = 0
+        breakdown = False
+
+        for local_iter in range(1, max_iter + 1):
+            if converged:
+                break
+            rho = float(r_hat @ r)
+            if rho == 0.0 or omega == 0.0:
+                breakdown = True
+                break
+            beta = (rho / rho_old) * (alpha / omega)
+            p = r + beta * (p - omega * v)
+            p_hat = M.solve(p)
+            v = A @ p_hat
+            denom = float(r_hat @ v)
+            if denom == 0.0:
+                breakdown = True
+                break
+            alpha = rho / denom
+            s = r - alpha * v
+            s_norm = float(np.linalg.norm(s))
+            if self.criterion.has_converged(s_norm, b_norm):
+                x = x + alpha * p_hat
+                res = s_norm
+                residual_norms.append(res)
+                iterations = local_iter
+                converged = True
+                self._emit(callback, iteration_offset + local_iter, x, res, converged=True)
+                break
+            s_hat = M.solve(s)
+            t = A @ s_hat
+            t_dot = float(t @ t)
+            if t_dot == 0.0:
+                breakdown = True
+                break
+            omega = float(t @ s) / t_dot
+            x = x + alpha * p_hat + omega * s_hat
+            r = s - omega * t
+            res = float(np.linalg.norm(r))
+            residual_norms.append(res)
+            iterations = local_iter
+            converged = self.criterion.has_converged(res, b_norm)
+            self._emit(callback, iteration_offset + local_iter, x, res, converged=converged)
+            if self.criterion.has_diverged(res, b_norm):
+                break
+            rho_old = rho
+        return SolveResult(
+            x=x,
+            converged=converged,
+            iterations=iterations,
+            residual_norms=residual_norms,
+            solver=self.name,
+            b_norm=b_norm,
+            info={"breakdown": breakdown},
+        )
+
+
+register_solver("bicgstab", BiCGStabSolver)

@@ -1,0 +1,46 @@
+"""Minimal sparse-matrix persistence (NumPy ``.npz`` based).
+
+The checkpoint subsystem stores *vectors*; matrices are static variables that
+only ever need to be written once (at solver start) and re-read at recovery.
+This module gives that path a compact, dependency-free on-disk format.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["save_csr", "load_csr"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_csr(path: PathLike, A: sp.spmatrix) -> int:
+    """Write ``A`` (converted to CSR) to ``path`` and return the bytes written."""
+    A = sp.csr_matrix(A)
+    path = os.fspath(path)
+    np.savez_compressed(
+        path,
+        data=A.data,
+        indices=A.indices,
+        indptr=A.indptr,
+        shape=np.asarray(A.shape, dtype=np.int64),
+    )
+    # np.savez_compressed appends .npz if missing.
+    actual = path if path.endswith(".npz") else path + ".npz"
+    return os.path.getsize(actual)
+
+
+def load_csr(path: PathLike) -> sp.csr_matrix:
+    """Read a CSR matrix previously written with :func:`save_csr`."""
+    path = os.fspath(path)
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = path + ".npz"
+    with np.load(path) as payload:
+        shape = tuple(int(s) for s in payload["shape"])
+        return sp.csr_matrix(
+            (payload["data"], payload["indices"], payload["indptr"]), shape=shape
+        )

@@ -1,0 +1,130 @@
+"""Tests for the CheckpointManager (Protect/Snapshot/restore)."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.manager import CheckpointManager
+from repro.checkpoint.store import FileCheckpointStore
+from repro.checkpoint.variables import VariableRole
+from repro.compression.lossless import ZlibCompressor
+from repro.compression.sz import SZCompressor
+
+
+@pytest.fixture
+def solver_like_state(smooth_vector):
+    return {"x": smooth_vector.copy(), "p": smooth_vector * 0.5, "i": 10, "rho": 0.123}
+
+
+def _manager_for(state, compressor=None):
+    mgr = CheckpointManager(compressor)
+    mgr.protect("x", VariableRole.DYNAMIC, lambda: state["x"],
+                lambda v: state.__setitem__("x", v))
+    mgr.protect("i", VariableRole.DYNAMIC, lambda: state["i"],
+                lambda v: state.__setitem__("i", v), compressible=False)
+    mgr.protect("rho", VariableRole.DYNAMIC, lambda: state["rho"],
+                lambda v: state.__setitem__("rho", v), compressible=False)
+    return mgr
+
+
+class TestSnapshotRestore:
+    def test_lossy_snapshot_restores_within_bound(self, solver_like_state):
+        mgr = _manager_for(solver_like_state, SZCompressor(1e-4))
+        original = solver_like_state["x"].copy()
+        record = mgr.snapshot(iteration=10)
+        assert record.compression_ratio > 1.0
+        solver_like_state["x"] = np.zeros_like(original)
+        solver_like_state["i"] = -1
+        restored = mgr.restore()
+        assert solver_like_state["i"] == 10
+        rel = np.abs(solver_like_state["x"] - original) / np.abs(original)
+        assert np.max(rel) <= 1e-4 * (1 + 1e-9)
+        assert restored["__tag__"] == {"iteration": 10}
+
+    def test_lossless_snapshot_exact(self, solver_like_state):
+        mgr = _manager_for(solver_like_state, ZlibCompressor())
+        original = solver_like_state["x"].copy()
+        mgr.snapshot()
+        solver_like_state["x"] = np.zeros_like(original)
+        mgr.restore()
+        assert np.array_equal(solver_like_state["x"], original)
+
+    def test_default_compressor_is_identity(self, solver_like_state):
+        mgr = _manager_for(solver_like_state)
+        record = mgr.snapshot()
+        assert record.compression_ratio <= 1.05
+
+    def test_restore_specific_checkpoint(self, solver_like_state):
+        mgr = _manager_for(solver_like_state, ZlibCompressor())
+        mgr.snapshot(iteration=1)
+        solver_like_state["i"] = 2
+        mgr.snapshot(iteration=2)
+        restored = mgr.restore(0)
+        assert restored["__tag__"] == {"iteration": 1}
+
+    def test_restore_without_apply(self, solver_like_state):
+        mgr = _manager_for(solver_like_state, ZlibCompressor())
+        mgr.snapshot()
+        solver_like_state["i"] = 99
+        mgr.restore(apply=False)
+        assert solver_like_state["i"] == 99
+
+    def test_no_dynamic_variables_raises(self):
+        mgr = CheckpointManager()
+        with pytest.raises(RuntimeError):
+            mgr.snapshot()
+
+    def test_restore_without_checkpoint_raises(self, solver_like_state):
+        mgr = _manager_for(solver_like_state)
+        with pytest.raises(KeyError):
+            mgr.restore()
+
+    def test_keep_last_prunes_old_checkpoints(self, solver_like_state):
+        mgr = _manager_for(solver_like_state, ZlibCompressor())
+        mgr.keep_last = 2
+        for i in range(5):
+            mgr.snapshot(iteration=i)
+        dynamic_ids = [i for i in mgr.store.ids() if i >= 0]
+        assert len(dynamic_ids) == 2
+
+    def test_has_checkpoint_and_records(self, solver_like_state):
+        mgr = _manager_for(solver_like_state, SZCompressor(1e-3))
+        assert not mgr.has_checkpoint()
+        mgr.snapshot()
+        assert mgr.has_checkpoint()
+        assert mgr.latest_record() is not None
+        assert mgr.mean_compression_ratio() > 1.0
+
+
+class TestStaticVariables:
+    def test_static_snapshot_and_restore(self, solver_like_state):
+        mgr = _manager_for(solver_like_state, ZlibCompressor())
+        static_value = {"A": np.arange(50, dtype=np.float64)}
+        mgr.protect("A", VariableRole.STATIC, lambda: static_value["A"],
+                    lambda v: static_value.__setitem__("A", v))
+        record = mgr.snapshot_static()
+        assert record is not None
+        static_value["A"] = np.zeros(50)
+        mgr.restore_static()
+        assert np.array_equal(static_value["A"], np.arange(50, dtype=np.float64))
+
+    def test_static_snapshot_none_when_no_statics(self, solver_like_state):
+        mgr = _manager_for(solver_like_state)
+        assert mgr.snapshot_static() is None
+
+
+class TestFileBackedManager:
+    def test_file_store_integration(self, solver_like_state, tmp_path):
+        mgr = CheckpointManager(
+            SZCompressor(1e-4), FileCheckpointStore(tmp_path / "ck")
+        )
+        mgr.protect("x", VariableRole.DYNAMIC, lambda: solver_like_state["x"],
+                    lambda v: solver_like_state.__setitem__("x", v))
+        mgr.snapshot(iteration=3)
+        original = solver_like_state["x"].copy()
+        solver_like_state["x"] = np.zeros_like(original)
+        mgr.restore()
+        assert np.allclose(solver_like_state["x"], original, rtol=1e-3)
+
+    def test_invalid_keep_last(self):
+        with pytest.raises(ValueError):
+            CheckpointManager(keep_last=0)

@@ -1,0 +1,85 @@
+"""Tests for the FTI-style multilevel checkpoint store."""
+
+import pytest
+
+from repro.checkpoint.multilevel import (
+    CheckpointLevel,
+    MultilevelCheckpointStore,
+    MultilevelPolicy,
+)
+
+
+class TestMultilevelPolicy:
+    def test_default_cycle_ends_with_pfs(self):
+        policy = MultilevelPolicy()
+        assert CheckpointLevel.PFS in policy.cycle
+
+    def test_level_for_cycles(self):
+        policy = MultilevelPolicy(cycle=[CheckpointLevel.LOCAL, CheckpointLevel.PFS])
+        assert policy.level_for(0) is CheckpointLevel.LOCAL
+        assert policy.level_for(1) is CheckpointLevel.PFS
+        assert policy.level_for(2) is CheckpointLevel.LOCAL
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            MultilevelPolicy(cycle=[])
+
+    def test_invalid_probability_rejected(self):
+        survival = {level: 1.0 for level in CheckpointLevel}
+        survival[CheckpointLevel.LOCAL] = 1.5
+        with pytest.raises(ValueError):
+            MultilevelPolicy(survival_probability=survival)
+
+    def test_cheaper_levels_cost_less(self):
+        policy = MultilevelPolicy()
+        assert (
+            policy.cost_multiplier[CheckpointLevel.LOCAL]
+            < policy.cost_multiplier[CheckpointLevel.PFS]
+        )
+
+
+class TestMultilevelStore:
+    def test_write_assigns_levels_from_cycle(self):
+        policy = MultilevelPolicy(cycle=[CheckpointLevel.LOCAL, CheckpointLevel.PFS])
+        store = MultilevelCheckpointStore(policy, seed=0)
+        store.write(0, b"a")
+        store.write(1, b"b")
+        assert store.level_of(0) is CheckpointLevel.LOCAL
+        assert store.level_of(1) is CheckpointLevel.PFS
+
+    def test_read_delete_roundtrip(self):
+        store = MultilevelCheckpointStore(seed=0)
+        store.write(0, b"payload")
+        assert store.read(0) == b"payload"
+        store.delete(0)
+        assert store.ids() == []
+
+    def test_cost_multiplier_of(self):
+        policy = MultilevelPolicy(cycle=[CheckpointLevel.LOCAL])
+        store = MultilevelCheckpointStore(policy, seed=0)
+        store.write(0, b"x")
+        assert store.cost_multiplier_of(0) == policy.cost_multiplier[CheckpointLevel.LOCAL]
+
+    def test_pfs_checkpoint_always_survives(self):
+        policy = MultilevelPolicy(cycle=[CheckpointLevel.PFS])
+        store = MultilevelCheckpointStore(policy, seed=1)
+        store.write(0, b"x")
+        store.write(1, b"y")
+        assert store.surviving_id() == 1
+
+    def test_local_checkpoints_sometimes_lost(self):
+        survival = {level: 1.0 for level in CheckpointLevel}
+        survival[CheckpointLevel.LOCAL] = 0.0
+        policy = MultilevelPolicy(
+            cycle=[CheckpointLevel.PFS, CheckpointLevel.LOCAL],
+            survival_probability=survival,
+        )
+        store = MultilevelCheckpointStore(policy, seed=2)
+        store.write(0, b"pfs")
+        store.write(1, b"local")
+        # The newest (local) checkpoint never survives; recovery falls back to PFS.
+        assert store.surviving_id() == 0
+
+    def test_no_checkpoints_returns_none(self):
+        store = MultilevelCheckpointStore(seed=0)
+        assert store.surviving_id() is None

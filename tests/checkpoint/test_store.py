@@ -1,0 +1,76 @@
+"""Tests for checkpoint stores."""
+
+import pytest
+
+from repro.checkpoint.store import FileCheckpointStore, MemoryCheckpointStore
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryCheckpointStore()
+    return FileCheckpointStore(tmp_path / "ckpts")
+
+
+class TestCheckpointStores:
+    def test_write_read_roundtrip(self, store):
+        receipt = store.write(3, b"hello world")
+        assert receipt.nbytes == 11
+        assert store.read(3) == b"hello world"
+
+    def test_overwrite(self, store):
+        store.write(1, b"aaa")
+        store.write(1, b"bbbb")
+        assert store.read(1) == b"bbbb"
+
+    def test_missing_id_raises(self, store):
+        with pytest.raises(KeyError):
+            store.read(99)
+
+    def test_ids_sorted(self, store):
+        for i in (5, 1, 3):
+            store.write(i, b"x")
+        assert store.ids() == [1, 3, 5]
+
+    def test_latest_id(self, store):
+        assert store.latest_id() is None
+        store.write(2, b"x")
+        store.write(7, b"y")
+        assert store.latest_id() == 7
+
+    def test_delete_and_prune(self, store):
+        for i in range(5):
+            store.write(i, b"x")
+        store.delete(2)
+        assert store.ids() == [0, 1, 3, 4]
+        store.prune(keep_last=2)
+        assert store.ids() == [3, 4]
+
+    def test_prune_validation(self, store):
+        with pytest.raises(ValueError):
+            store.prune(keep_last=-1)
+
+
+class TestMemorySpecific:
+    def test_total_bytes(self):
+        store = MemoryCheckpointStore()
+        store.write(0, b"abc")
+        store.write(1, b"defg")
+        assert store.total_bytes() == 7
+
+
+class TestFileSpecific:
+    def test_files_on_disk(self, tmp_path):
+        store = FileCheckpointStore(tmp_path / "dir")
+        store.write(12, b"data")
+        files = list((tmp_path / "dir").iterdir())
+        assert len(files) == 1
+        assert files[0].name == "ckpt_00000012.bin"
+
+    def test_ignores_foreign_files(self, tmp_path):
+        directory = tmp_path / "dir"
+        store = FileCheckpointStore(directory)
+        store.write(1, b"x")
+        (directory / "notes.txt").write_text("hi")
+        (directory / "ckpt_bad.bin").write_text("hi")
+        assert store.ids() == [1]

@@ -1,0 +1,78 @@
+"""Tests for variable classification and registration."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.variables import ProtectedVariable, VariableRegistry, VariableRole
+
+
+class TestProtectedVariable:
+    def test_current_value_and_restore(self):
+        holder = {"x": 1.0}
+        var = ProtectedVariable(
+            "x", VariableRole.DYNAMIC,
+            getter=lambda: holder["x"],
+            setter=lambda v: holder.__setitem__("x", v),
+        )
+        assert var.current_value() == 1.0
+        var.restore(2.0)
+        assert holder["x"] == 2.0
+
+    def test_restore_without_setter_raises(self):
+        var = ProtectedVariable("A", VariableRole.STATIC, getter=lambda: 1)
+        with pytest.raises(ValueError):
+            var.restore(5)
+
+
+class TestVariableRegistry:
+    def test_protect_and_lookup(self):
+        reg = VariableRegistry()
+        reg.protect("x", VariableRole.DYNAMIC, getter=lambda: 1)
+        assert "x" in reg
+        assert len(reg) == 1
+
+    def test_duplicate_name_rejected(self):
+        reg = VariableRegistry()
+        reg.protect("x", VariableRole.DYNAMIC, getter=lambda: 1)
+        with pytest.raises(ValueError):
+            reg.protect("x", VariableRole.STATIC, getter=lambda: 2)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            VariableRegistry().protect("", VariableRole.DYNAMIC, getter=lambda: 1)
+
+    def test_by_role_and_names(self):
+        reg = VariableRegistry()
+        reg.protect("A", VariableRole.STATIC, getter=lambda: 1)
+        reg.protect("x", VariableRole.DYNAMIC, getter=lambda: 2)
+        reg.protect("r", VariableRole.RECOMPUTED, getter=lambda: 3)
+        assert [v.name for v in reg.by_role(VariableRole.DYNAMIC)] == ["x"]
+        assert reg.names() == ["A", "x", "r"]
+        assert reg.names([VariableRole.STATIC, VariableRole.DYNAMIC]) == ["A", "x"]
+
+    def test_protect_value_dict_slot(self):
+        reg = VariableRegistry()
+        holder = {"x": np.ones(3)}
+        var = reg.protect_value("x", VariableRole.DYNAMIC, holder)
+        assert np.array_equal(var.current_value(), np.ones(3))
+        var.restore(np.zeros(3))
+        assert np.array_equal(holder["x"], np.zeros(3))
+
+    def test_unprotect(self):
+        reg = VariableRegistry()
+        reg.protect("x", VariableRole.DYNAMIC, getter=lambda: 1)
+        reg.unprotect("x")
+        assert "x" not in reg
+        reg.unprotect("x")  # idempotent
+
+    def test_dynamic_nbytes(self):
+        reg = VariableRegistry()
+        reg.protect("x", VariableRole.DYNAMIC, getter=lambda: np.zeros(100))
+        reg.protect("i", VariableRole.DYNAMIC, getter=lambda: 7)
+        reg.protect("A", VariableRole.STATIC, getter=lambda: np.zeros(1000))
+        assert reg.dynamic_nbytes() == 100 * 8 + 8
+
+    def test_role_string_coercion(self):
+        reg = VariableRegistry()
+        var = reg.protect("x", "dynamic", getter=lambda: 1)
+        assert var.role is VariableRole.DYNAMIC

@@ -1,0 +1,57 @@
+"""Tests for the exponential failure injector."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.failures import FailureInjector
+
+
+class TestFailureInjector:
+    def test_disabled_injector_never_fails(self):
+        injector = FailureInjector(None)
+        assert injector.next_failure_time() == float("inf")
+        assert injector.failure_in(0.0, 1e12) is None
+        assert injector.failure_rate == 0.0
+
+    def test_failure_rate(self):
+        assert FailureInjector(3600.0).failure_rate == pytest.approx(1.0 / 3600.0)
+
+    def test_reproducible_with_seed(self):
+        a = FailureInjector(3600.0, seed=5).next_failure_time()
+        b = FailureInjector(3600.0, seed=5).next_failure_time()
+        assert a == b
+
+    def test_failure_in_window_detection(self):
+        injector = FailureInjector(100.0, seed=0)
+        t = injector.next_failure_time()
+        assert injector.failure_in(t - 1.0, t + 1.0) == t
+        assert injector.failure_in(t + 1.0, t + 2.0) is None
+        assert injector.failure_in(0.0, t - 1.0) is None
+
+    def test_consume_rearms(self):
+        injector = FailureInjector(100.0, seed=1)
+        first = injector.next_failure_time()
+        event = injector.consume(first, "compute")
+        assert event.time == first
+        assert event.phase == "compute"
+        assert injector.next_failure_time() > first
+        assert injector.count == 1
+
+    def test_consume_disabled_raises(self):
+        with pytest.raises(RuntimeError):
+            FailureInjector(None).consume(1.0)
+
+    def test_mean_interarrival_close_to_mtti(self):
+        injector = FailureInjector(100.0, seed=42)
+        times = []
+        t = 0.0
+        for _ in range(2000):
+            nxt = injector.next_failure_time()
+            times.append(nxt - t)
+            t = nxt
+            injector.consume(nxt)
+        assert np.mean(times) == pytest.approx(100.0, rel=0.1)
+
+    def test_invalid_mtti(self):
+        with pytest.raises(ValueError):
+            FailureInjector(-1.0)

@@ -1,0 +1,66 @@
+"""Tests for 1-D block partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.partition import block_partition, local_sizes
+
+
+class TestBlockPartition:
+    def test_even_split(self):
+        part = block_partition(100, 4)
+        assert part.counts == (25, 25, 25, 25)
+
+    def test_remainder_distributed_to_first_ranks(self):
+        part = block_partition(10, 3)
+        assert part.counts == (4, 3, 3)
+
+    def test_owner(self):
+        part = block_partition(10, 3)
+        assert part.owner(0) == 0
+        assert part.owner(3) == 0
+        assert part.owner(4) == 1
+        assert part.owner(9) == 2
+        with pytest.raises(IndexError):
+            part.owner(10)
+
+    def test_local_slice(self):
+        part = block_partition(10, 3)
+        assert part.local_slice(1) == slice(4, 7)
+        with pytest.raises(IndexError):
+            part.local_slice(3)
+
+    def test_scatter_gather_roundtrip(self):
+        part = block_partition(23, 5)
+        vec = np.arange(23.0)
+        pieces = part.scatter(vec)
+        assert len(pieces) == 5
+        assert np.array_equal(part.gather(pieces), vec)
+
+    def test_scatter_wrong_length(self):
+        part = block_partition(10, 2)
+        with pytest.raises(ValueError):
+            part.scatter(np.zeros(11))
+
+    def test_gather_wrong_piece_count(self):
+        part = block_partition(10, 2)
+        with pytest.raises(ValueError):
+            part.gather([np.zeros(10)])
+
+    def test_local_sizes_helper(self):
+        assert local_sizes(7, 2) == [4, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_partition(-1, 2)
+        with pytest.raises(ValueError):
+            block_partition(10, 0)
+
+    @given(n=st.integers(min_value=0, max_value=5000), ranks=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=80, deadline=None)
+    def test_counts_sum_to_n_property(self, n, ranks):
+        part = block_partition(n, ranks)
+        assert sum(part.counts) == n
+        assert max(part.counts) - min(part.counts) <= 1

@@ -1,0 +1,71 @@
+"""Tests for the low-level bit-packing encoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.encoding import (
+    pack_sections,
+    pack_unsigned,
+    unpack_sections,
+    unpack_unsigned,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestZigzag:
+    def test_small_magnitudes_get_small_codes(self):
+        values = np.array([0, -1, 1, -2, 2], dtype=np.int64)
+        codes = zigzag_encode(values)
+        assert list(codes) == [0, 1, 2, 3, 4]
+
+    def test_roundtrip_extremes(self):
+        values = np.array([0, 1, -1, 2**40, -(2**40)], dtype=np.int64)
+        assert np.array_equal(zigzag_decode(zigzag_encode(values)), values)
+
+    @given(st.lists(st.integers(min_value=-(2**62), max_value=2**62), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        assert np.array_equal(zigzag_decode(zigzag_encode(arr)), arr)
+
+
+class TestPackUnsigned:
+    def test_roundtrip(self):
+        codes = np.array([0, 1, 5, 1023, 7], dtype=np.uint64)
+        packed = pack_unsigned(codes)
+        out, consumed = unpack_unsigned(packed)
+        assert np.array_equal(out, codes)
+        assert consumed == len(packed)
+
+    def test_empty(self):
+        out, consumed = unpack_unsigned(pack_unsigned(np.array([], dtype=np.uint64)))
+        assert out.size == 0 and consumed == 12
+
+    def test_minimal_width_used(self):
+        small = pack_unsigned(np.ones(1000, dtype=np.uint64))
+        large = pack_unsigned(np.full(1000, 2**30, dtype=np.uint64))
+        assert len(small) < len(large)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**63 - 1), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.asarray(values, dtype=np.uint64)
+        out, _ = unpack_unsigned(pack_unsigned(arr))
+        assert np.array_equal(out, arr)
+
+
+class TestSections:
+    def test_roundtrip(self):
+        sections = [b"", b"abc", b"\x00\x01\x02" * 10]
+        assert unpack_sections(pack_sections(sections)) == sections
+
+    def test_single_section(self):
+        assert unpack_sections(pack_sections([b"hello"])) == [b"hello"]
+
+    @given(st.lists(st.binary(max_size=64), max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, sections):
+        assert unpack_sections(pack_sections(sections)) == sections

@@ -1,0 +1,72 @@
+"""Property-based tests: every lossy compressor honours its error bound.
+
+These are the guarantees the paper's Theorems 2 and 3 rely on, so they are
+tested over adversarial inputs with Hypothesis rather than just on smooth
+vectors.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression.errorbounds import ErrorBound
+from repro.compression.lossless import ZlibCompressor
+from repro.compression.metrics import max_abs_error, max_pointwise_relative_error
+from repro.compression.sz import SZCompressor
+from repro.compression.zfp import ZFPCompressor
+
+_float_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=400),
+    elements=st.floats(
+        min_value=-1e8, max_value=1e8, allow_nan=False, allow_infinity=False
+    ),
+)
+
+_bounds = st.sampled_from([1e-2, 1e-3, 1e-4, 1e-5])
+
+
+class TestSZProperties:
+    @given(data=_float_arrays, eb=_bounds)
+    @settings(max_examples=60, deadline=None)
+    def test_pointwise_relative_bound(self, data, eb):
+        recon, blob = SZCompressor(eb).roundtrip(data)
+        assert recon.shape == data.shape
+        assert max_pointwise_relative_error(data, recon) <= eb * (1 + 1e-8)
+
+    @given(data=_float_arrays, eb=_bounds)
+    @settings(max_examples=60, deadline=None)
+    def test_absolute_bound(self, data, eb):
+        recon, _ = SZCompressor(ErrorBound.absolute(eb)).roundtrip(data)
+        assert max_abs_error(data, recon) <= eb * (1 + 1e-8)
+
+    @given(data=_float_arrays, eb=_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_zeros_always_exact(self, data, eb):
+        data = data.copy()
+        data[:: max(1, data.size // 7)] = 0.0
+        recon, _ = SZCompressor(eb).roundtrip(data)
+        assert np.all(recon[data == 0.0] == 0.0)
+
+
+class TestZFPProperties:
+    @given(data=_float_arrays, eb=_bounds)
+    @settings(max_examples=60, deadline=None)
+    def test_absolute_bound(self, data, eb):
+        recon, _ = ZFPCompressor(ErrorBound.absolute(eb)).roundtrip(data)
+        assert max_abs_error(data, recon) <= eb * (1 + 1e-8)
+
+    @given(data=_float_arrays, eb=_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_pointwise_relative_bound(self, data, eb):
+        recon, _ = ZFPCompressor(eb).roundtrip(data)
+        assert max_pointwise_relative_error(data, recon) <= eb * (1 + 1e-8)
+
+
+class TestLosslessProperties:
+    @given(data=_float_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_bitwise_exact(self, data):
+        recon, _ = ZlibCompressor().roundtrip(data)
+        assert np.array_equal(recon, data, equal_nan=True)

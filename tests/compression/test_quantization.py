@@ -1,0 +1,64 @@
+"""Tests for error-bounded quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.quantization import (
+    QuantizationOverflow,
+    dequantize_absolute,
+    quantization_error,
+    quantize_absolute,
+)
+
+
+class TestQuantizeAbsolute:
+    def test_error_within_bound(self):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(1000) * 50
+        bound = 1e-3
+        q = quantize_absolute(values, bound)
+        recon = dequantize_absolute(q)
+        assert np.max(np.abs(values - recon)) <= bound + 1e-15
+
+    def test_integer_codes(self):
+        q = quantize_absolute(np.array([0.0, 1.0, 2.0]), 0.5)
+        assert q.codes.dtype == np.int64
+
+    def test_overflow_raises(self):
+        with pytest.raises(QuantizationOverflow):
+            quantize_absolute(np.array([1e40]), 1e-30)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            quantize_absolute(np.array([np.nan]), 0.1)
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            quantize_absolute(np.array([1.0]), 0.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            quantize_absolute(np.zeros((2, 2)), 0.1)
+
+    def test_quantization_error_helper(self):
+        values = np.linspace(0, 1, 100)
+        q = quantize_absolute(values, 0.01)
+        max_err, mean_err = quantization_error(values, q)
+        assert 0 <= mean_err <= max_err <= 0.01 + 1e-15
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=300,
+        ),
+        st.floats(min_value=1e-6, max_value=10.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bound_respected_property(self, values, bound):
+        arr = np.asarray(values, dtype=np.float64)
+        q = quantize_absolute(arr, bound)
+        recon = dequantize_absolute(q)
+        assert np.max(np.abs(arr - recon)) <= bound * (1 + 1e-12) + 1e-15

@@ -1,0 +1,45 @@
+"""Tests for the pointwise-relative log transform."""
+
+import numpy as np
+import pytest
+
+from repro.compression.relative import PointwiseRelativeTransform
+
+
+class TestPointwiseRelativeTransform:
+    def test_exact_roundtrip_without_loss(self):
+        values = np.array([1.0, -2.5, 0.0, 1e-8, -3e4])
+        transform = PointwiseRelativeTransform.forward(values, 1e-4)
+        out = transform.backward(transform.log_values)
+        nonzero = values != 0
+        assert np.allclose(out[nonzero], values[nonzero], rtol=1e-12)
+        assert np.all(out[~nonzero] == 0.0)
+
+    def test_log_bound_guarantee(self):
+        values = np.array([0.5, 5.0, -50.0])
+        eb = 1e-3
+        transform = PointwiseRelativeTransform.forward(values, eb)
+        # Perturb the logs by exactly the log bound: relative error must stay <= eb.
+        perturbed = transform.log_values + transform.log_bound
+        out = transform.backward(perturbed)
+        rel = np.abs(out - values) / np.abs(values)
+        assert np.all(rel <= eb * (1 + 1e-9))
+
+    def test_signs_preserved(self):
+        values = np.array([-1.0, 2.0, -3.0])
+        transform = PointwiseRelativeTransform.forward(values, 1e-2)
+        out = transform.backward(transform.log_values)
+        assert np.all(np.sign(out) == np.sign(values))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            PointwiseRelativeTransform.forward(np.array([np.inf]), 1e-3)
+
+    def test_rejects_bad_eb(self):
+        with pytest.raises(ValueError):
+            PointwiseRelativeTransform.forward(np.array([1.0]), 0.0)
+
+    def test_backward_shape_mismatch_raises(self):
+        transform = PointwiseRelativeTransform.forward(np.array([1.0, 2.0]), 1e-3)
+        with pytest.raises(ValueError):
+            transform.backward(np.zeros(3))

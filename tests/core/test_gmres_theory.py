@@ -1,0 +1,82 @@
+"""Tests for Theorem 3 (GMRES adaptive error bound)."""
+
+import numpy as np
+import pytest
+
+from repro.compression.errorbounds import ErrorBoundMode
+from repro.compression.sz import SZCompressor
+from repro.core.gmres_theory import (
+    GMRESErrorBoundPolicy,
+    adaptive_relative_bound,
+    residual_jump_bound,
+)
+from repro.solvers import GMRESSolver
+
+
+class TestAdaptiveBound:
+    def test_proportional_to_residual(self):
+        assert adaptive_relative_bound(1e-3, 1.0) == pytest.approx(1e-3)
+        assert adaptive_relative_bound(1e-5, 1.0) == pytest.approx(1e-5)
+
+    def test_safety_factor(self):
+        assert adaptive_relative_bound(1e-3, 1.0, safety_factor=0.5) == pytest.approx(5e-4)
+
+    def test_clipping(self):
+        assert adaptive_relative_bound(10.0, 1.0) == 1e-1
+        assert adaptive_relative_bound(1e-30, 1.0) == 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adaptive_relative_bound(1e-3, 0.0)
+        with pytest.raises(ValueError):
+            adaptive_relative_bound(-1e-3, 1.0)
+
+
+class TestResidualJumpBound:
+    def test_formula(self):
+        assert residual_jump_bound(0.5, 2.0, 1e-2) == pytest.approx(
+            (1 + 1e-2) * 0.5 + 1e-2 * 2.0
+        )
+
+    def test_bound_holds_for_actual_compression(self, poisson_medium):
+        """Compressing the iterate with eb = ||r||/||b|| keeps the residual on
+        the same order — the empirical content of Theorem 3."""
+        solver = GMRESSolver(poisson_medium.A, rtol=1e-9, max_iter=5000)
+        full = solver.solve(poisson_medium.b)
+        target = max(1, full.iterations // 2)
+        captured = {}
+
+        def capture(state):
+            if state.iteration == target:
+                captured["x"] = state.x
+
+        solver.solve(poisson_medium.b, callback=capture)
+        b = poisson_medium.b
+        A = poisson_medium.A
+        x_t = captured["x"]
+        residual = float(np.linalg.norm(b - A @ x_t))
+        b_norm = float(np.linalg.norm(b))
+        eb = adaptive_relative_bound(residual, b_norm)
+        compressor = SZCompressor(eb)
+        x_restart = compressor.decompress(compressor.compress(x_t))
+        new_residual = float(np.linalg.norm(b - A @ x_restart))
+        # The paper's Eq. (14) step ||A e|| <= eb ||A x|| holds elementwise in
+        # spirit but not rigorously in the 2-norm; the rigorous version picks
+        # up a factor of ||A|| (<= 12 for the 7-point stencil).  "Same order"
+        # is the claim Theorem 3 actually needs.
+        assert new_residual <= 12.0 * residual_jump_bound(residual, b_norm, eb)
+        assert new_residual <= 12.0 * (residual + eb * b_norm)
+
+
+class TestPolicy:
+    def test_policy_returns_pointwise_relative_bound(self):
+        policy = GMRESErrorBoundPolicy()
+        eb = policy.error_bound(1e-2, 1.0)
+        assert eb.mode is ErrorBoundMode.POINTWISE_RELATIVE
+        assert eb.value == pytest.approx(1e-2)
+
+    def test_policy_tracks_residual_decrease(self):
+        policy = GMRESErrorBoundPolicy()
+        early = policy.bound_value(1e-1, 1.0)
+        late = policy.bound_value(1e-6, 1.0)
+        assert late < early

@@ -1,0 +1,137 @@
+"""Tests for the checkpoint/restart performance model (Eqs. 1-8, Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import (
+    CheckpointTimings,
+    expected_overhead_fraction,
+    expected_total_time,
+    lossy_expected_overhead_fraction,
+    lossy_expected_total_time,
+    max_acceptable_extra_iterations,
+    overhead_function,
+    young_interval,
+)
+
+
+class TestYoungInterval:
+    def test_formula(self):
+        assert young_interval(18.0, 4 * 3600.0) == pytest.approx(
+            np.sqrt(2 * 4 * 3600.0 * 18.0)
+        )
+
+    def test_paper_example_five_checkpoints_per_hour(self):
+        """MTTI 4 h, Tckp 18 s -> about 5 checkpoints/hour (Section 3)."""
+        interval = young_interval(18.0, 4 * 3600.0)
+        per_hour = 3600.0 / interval
+        assert per_hour == pytest.approx(5.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_interval(0.0, 3600.0)
+
+
+class TestOverheadFunction:
+    def test_definition(self):
+        lam = 1 / 3600.0
+        t = 120.0
+        assert overhead_function(t, lam) == pytest.approx(
+            np.sqrt(2 * lam * t) + lam * t
+        )
+
+    def test_monotone_in_checkpoint_time(self):
+        lam = 1 / 3600.0
+        assert overhead_function(20.0, lam) < overhead_function(120.0, lam)
+
+    def test_zero_failure_rate_gives_zero(self):
+        assert overhead_function(120.0, 0.0) == 0.0
+
+
+class TestExpectedOverhead:
+    def test_figure1_hourly_failures_120s_checkpoint_about_40_percent(self):
+        """The paper reads ~40% off Figure 1 at MTTI = 1 h, Tckp = 120 s."""
+        overhead = expected_overhead_fraction(1 / 3600.0, 120.0)
+        assert 0.3 < overhead < 0.5
+
+    def test_overhead_increases_with_failure_rate(self):
+        assert expected_overhead_fraction(2 / 3600.0, 60.0) > expected_overhead_fraction(
+            1 / 3600.0, 60.0
+        )
+
+    def test_unstable_regime_raises(self):
+        with pytest.raises(ValueError):
+            expected_overhead_fraction(3.5 / 3600.0, 5000.0)
+
+    def test_expected_total_time_consistent_with_overhead(self):
+        lam = 1 / 3600.0
+        productive = 7200.0
+        total = expected_total_time(productive, lam, 120.0)
+        overhead = expected_overhead_fraction(lam, 120.0)
+        assert total == pytest.approx(productive * (1 + overhead), rel=1e-12)
+
+    def test_total_time_with_distinct_recovery(self):
+        total_fast = expected_total_time(1000.0, 1 / 3600.0, 60.0, recovery_seconds=10.0)
+        total_slow = expected_total_time(1000.0, 1 / 3600.0, 60.0, recovery_seconds=200.0)
+        assert total_fast < total_slow
+
+
+class TestLossyModel:
+    def test_reduces_to_exact_model_when_no_extra_iterations(self):
+        lam = 1 / 3600.0
+        assert lossy_expected_overhead_fraction(lam, 25.0, 0.0, 1.2) == pytest.approx(
+            expected_overhead_fraction(lam, 25.0)
+        )
+
+    def test_extra_iterations_increase_overhead(self):
+        lam = 1 / 3600.0
+        assert lossy_expected_overhead_fraction(lam, 25.0, 500, 1.2) > (
+            lossy_expected_overhead_fraction(lam, 25.0, 0, 1.2)
+        )
+
+    def test_lossy_total_time_consistency(self):
+        lam = 1 / 3600.0
+        productive = 7160.0
+        total = lossy_expected_total_time(productive, lam, 25.0, 100, 1.2)
+        overhead = lossy_expected_overhead_fraction(lam, 25.0, 100, 1.2)
+        assert total == pytest.approx(productive * (1 + overhead), rel=1e-12)
+
+
+class TestTheorem1:
+    def test_paper_worked_example_500_iterations(self):
+        """GMRES example in Section 4.3: Tckp 120 -> 25 s, MTTI 1 h, Tit 1.2 s
+        gives a budget of roughly 500 extra iterations."""
+        budget = max_acceptable_extra_iterations(120.0, 25.0, 1 / 3600.0, 1.2)
+        assert budget == pytest.approx(500.0, rel=0.15)
+
+    def test_budget_positive_only_when_lossy_cheaper(self):
+        lam = 1 / 3600.0
+        assert max_acceptable_extra_iterations(120.0, 25.0, lam, 1.0) > 0
+        assert max_acceptable_extra_iterations(25.0, 120.0, lam, 1.0) < 0
+
+    def test_budget_shrinks_with_longer_iterations(self):
+        lam = 1 / 3600.0
+        assert max_acceptable_extra_iterations(120.0, 25.0, lam, 2.0) < (
+            max_acceptable_extra_iterations(120.0, 25.0, lam, 1.0)
+        )
+
+    def test_lossy_wins_iff_extra_iterations_below_budget(self):
+        """Cross-check Theorem 1 against the overhead formulas themselves."""
+        lam = 1 / 3600.0
+        t_trad, t_lossy, tit = 120.0, 25.0, 1.2
+        budget = max_acceptable_extra_iterations(t_trad, t_lossy, lam, tit)
+        below = lossy_expected_overhead_fraction(lam, t_lossy, budget * 0.9, tit)
+        above = lossy_expected_overhead_fraction(lam, t_lossy, budget * 1.1, tit)
+        trad = expected_overhead_fraction(lam, t_trad)
+        assert below < trad
+        assert above > trad
+
+
+class TestCheckpointTimings:
+    def test_young_interval_helper(self):
+        timings = CheckpointTimings(checkpoint_seconds=25.0, recovery_seconds=30.0)
+        assert timings.young_interval(3600.0) == pytest.approx(young_interval(25.0, 3600.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointTimings(checkpoint_seconds=-1.0, recovery_seconds=0.0)

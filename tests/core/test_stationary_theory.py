@@ -1,0 +1,108 @@
+"""Tests for Theorem 2 (stationary-method extra-iteration bounds)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stationary_theory import (
+    StationaryImpactModel,
+    expected_extra_iterations,
+    expected_extra_iterations_interval,
+    extra_iterations_at,
+)
+from repro.solvers import JacobiSolver
+from repro.sparse.analysis import jacobi_iteration_matrix, spectral_radius
+from repro.compression.sz import SZCompressor
+
+
+class TestExtraIterationsAt:
+    def test_formula(self):
+        t, R, eb = 100.0, 0.99, 1e-4
+        expected = t - np.log(R**t + eb) / np.log(R)
+        assert extra_iterations_at(t, R, eb) == pytest.approx(expected)
+
+    def test_nonnegative(self):
+        assert extra_iterations_at(0.0, 0.9, 1e-4) >= 0.0
+
+    def test_increases_with_error_bound(self):
+        assert extra_iterations_at(500, 0.995, 1e-3) > extra_iterations_at(500, 0.995, 1e-5)
+
+    def test_increases_with_restart_iteration(self):
+        # Late restarts are worse: the compression error dominates the small residual.
+        assert extra_iterations_at(900, 0.995, 1e-4) > extra_iterations_at(100, 0.995, 1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            extra_iterations_at(10, 1.5, 1e-4)
+        with pytest.raises(ValueError):
+            extra_iterations_at(10, 0.9, 0.0)
+        with pytest.raises(ValueError):
+            extra_iterations_at(-1, 0.9, 1e-4)
+
+
+class TestExpectedInterval:
+    def test_paper_jacobi_numbers(self):
+        """N = 3941, eb = 1e-4, R ~ 0.99998 gives an expectation of about 6."""
+        lower, upper = expected_extra_iterations_interval(3941, 0.99998, 1e-4)
+        assert lower <= upper
+        midpoint = (lower + upper) / 2
+        assert 1.0 <= midpoint <= 15.0
+
+    def test_numerical_expectation_inside_interval(self):
+        lower, upper = expected_extra_iterations_interval(2000, 0.999, 1e-4)
+        expected = expected_extra_iterations(2000, 0.999, 1e-4)
+        assert lower - 1e-9 <= expected <= upper + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_extra_iterations_interval(0, 0.9, 1e-4)
+
+    @given(
+        total=st.integers(min_value=10, max_value=5000),
+        radius=st.floats(min_value=0.5, max_value=0.99999),
+        eb=st.sampled_from([1e-3, 1e-4, 1e-5, 1e-6]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interval_ordering_property(self, total, radius, eb):
+        lower, upper = expected_extra_iterations_interval(total, radius, eb)
+        assert 0.0 <= lower <= upper <= total + abs(np.log(eb) / np.log(radius)) + 1
+
+
+class TestAgainstRealJacobi:
+    def test_bound_holds_for_actual_lossy_restart(self, poisson_medium):
+        """The Theorem-2 upper bound covers the measured extra iterations."""
+        solver = JacobiSolver(poisson_medium.A, rtol=1e-5, max_iter=50000)
+        baseline = solver.solve(poisson_medium.b)
+        radius = spectral_radius(jacobi_iteration_matrix(poisson_medium.A).toarray())
+        eb = 1e-3
+        restart_at = baseline.iterations // 2
+
+        captured = {}
+
+        def capture(state):
+            if state.iteration == restart_at:
+                captured["x"] = state.x
+
+        solver.solve(poisson_medium.b, callback=capture)
+        compressor = SZCompressor(eb)
+        x_restart = compressor.decompress(compressor.compress(captured["x"]))
+        resumed = solver.solve(poisson_medium.b, x0=x_restart)
+        measured_extra = restart_at + resumed.iterations - baseline.iterations
+        bound = extra_iterations_at(restart_at, radius, eb)
+        assert measured_extra <= bound + 2  # +2 absorbs discreteness
+
+
+class TestImpactModel:
+    def test_wrapper_consistency(self):
+        model = StationaryImpactModel(spectral_radius=0.999, total_iterations=1000)
+        assert model.interval(1e-4) == expected_extra_iterations_interval(1000, 0.999, 1e-4)
+        assert model.expected(1e-4) == pytest.approx(
+            expected_extra_iterations(1000, 0.999, 1e-4)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StationaryImpactModel(spectral_radius=1.2, total_iterations=10)
+        with pytest.raises(ValueError):
+            StationaryImpactModel(spectral_radius=0.9, total_iterations=0)

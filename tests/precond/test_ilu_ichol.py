@@ -1,0 +1,86 @@
+"""Tests for the ILU(0) and IC(0) factorizations."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.precond.ichol import IncompleteCholeskyPreconditioner, ic0_factor
+from repro.precond.ilu import ILU0Preconditioner, ilu0_factor
+from repro.sparse.poisson import poisson_2d, poisson_3d
+from repro.sparse.matrices import diagonally_dominant
+
+
+class TestILU0Factor:
+    def test_tridiagonal_ilu_is_exact_lu(self):
+        # For a tridiagonal matrix the ILU(0) pattern suffers no fill, so the
+        # incomplete factorization equals the exact LU: L@U == A.
+        A = sp.diags([-1.0, 4.0, -1.0], offsets=[-1, 0, 1], shape=(12, 12), format="csr")
+        factored = ilu0_factor(A)
+        L = sp.tril(factored, k=-1) + sp.identity(12)
+        U = sp.triu(factored, k=0)
+        assert np.allclose((L @ U).toarray(), A.toarray(), atol=1e-12)
+
+    def test_missing_diagonal_rejected(self):
+        A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(ValueError):
+            ilu0_factor(A)
+
+    def test_preserves_sparsity_pattern(self):
+        A = poisson_2d(6)
+        factored = ilu0_factor(A)
+        assert factored.nnz == A.nnz
+
+
+class TestILU0Preconditioner:
+    def test_reduces_cg_iterations(self):
+        from repro.solvers import CGSolver
+
+        A = poisson_3d(8)
+        b = np.ones(A.shape[0])
+        plain = CGSolver(A, rtol=1e-8, max_iter=2000).solve(b)
+        ilu = CGSolver(
+            A, preconditioner=ILU0Preconditioner(A), rtol=1e-8, max_iter=2000
+        ).solve(b)
+        assert ilu.iterations < plain.iterations
+
+    def test_apply_approximates_inverse(self):
+        A = diagonally_dominant(60, density=0.1, seed=0)
+        M = ILU0Preconditioner(A)
+        rng = np.random.default_rng(1)
+        r = rng.standard_normal(60)
+        z = M.solve(r)
+        # The preconditioned residual should be much closer to r than A z = r
+        # would be for a random z.
+        assert np.linalg.norm(A @ z - r) < 0.5 * np.linalg.norm(r)
+
+
+class TestIC0:
+    def test_tridiagonal_ic_is_exact_cholesky(self):
+        A = sp.diags([-1.0, 4.0, -1.0], offsets=[-1, 0, 1], shape=(10, 10), format="csr")
+        L = ic0_factor(A)
+        assert np.allclose((L @ L.T).toarray(), A.toarray(), atol=1e-12)
+
+    def test_poisson_factor_is_lower_triangular(self):
+        A = poisson_2d(5)
+        L = ic0_factor(A)
+        assert (sp.triu(L, k=1)).nnz == 0
+
+    def test_breakdown_raises_or_shifts(self):
+        # An indefinite matrix breaks plain IC(0)...
+        A = sp.csr_matrix(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        with pytest.raises((np.linalg.LinAlgError, ZeroDivisionError)):
+            ic0_factor(A)
+        # ...but the preconditioner rescues it with a diagonal shift.
+        M = IncompleteCholeskyPreconditioner(A)
+        assert M.shift > 0
+
+    def test_reduces_cg_iterations(self):
+        from repro.solvers import CGSolver
+
+        A = poisson_3d(8)
+        b = np.ones(A.shape[0])
+        plain = CGSolver(A, rtol=1e-8, max_iter=2000).solve(b)
+        ic = CGSolver(
+            A, preconditioner=IncompleteCholeskyPreconditioner(A), rtol=1e-8, max_iter=2000
+        ).solve(b)
+        assert ic.iterations < plain.iterations

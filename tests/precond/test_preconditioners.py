@@ -1,0 +1,101 @@
+"""Tests for the preconditioners."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.precond import (
+    BlockJacobiPreconditioner,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    SSORPreconditioner,
+    make_preconditioner,
+)
+from repro.sparse.poisson import poisson_2d, poisson_3d
+
+
+class TestIdentity:
+    def test_returns_copy_of_input(self):
+        A = poisson_2d(4)
+        M = IdentityPreconditioner(A)
+        r = np.arange(16, dtype=float)
+        z = M.solve(r)
+        assert np.array_equal(z, r)
+        assert z is not r
+
+    def test_length_validation(self):
+        M = IdentityPreconditioner(poisson_2d(4))
+        with pytest.raises(ValueError):
+            M.solve(np.zeros(5))
+
+
+class TestJacobi:
+    def test_applies_inverse_diagonal(self):
+        A = sp.diags([2.0, 4.0, 8.0], format="csr")
+        M = JacobiPreconditioner(A)
+        z = M.solve(np.array([2.0, 4.0, 8.0]))
+        assert np.allclose(z, 1.0)
+
+    def test_zero_diagonal_rejected(self):
+        A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(ValueError):
+            JacobiPreconditioner(A)
+
+
+class TestBlockJacobi:
+    def test_single_block_is_exact_solve(self):
+        A = poisson_2d(5)
+        M = BlockJacobiPreconditioner(A, num_blocks=1)
+        rng = np.random.default_rng(0)
+        r = rng.standard_normal(25)
+        z = M.solve(r)
+        assert np.allclose(A @ z, r, atol=1e-10)
+
+    def test_more_blocks_than_rows_clamped(self):
+        A = poisson_2d(3)
+        M = BlockJacobiPreconditioner(A, num_blocks=100)
+        assert M.num_blocks == 9
+
+    def test_invalid_block_count(self):
+        with pytest.raises(ValueError):
+            BlockJacobiPreconditioner(poisson_2d(3), num_blocks=0)
+
+    def test_improves_cg_iteration_count(self):
+        from repro.solvers import CGSolver
+
+        A = poisson_3d(8)
+        b = np.ones(A.shape[0])
+        plain = CGSolver(A, rtol=1e-8, max_iter=2000).solve(b)
+        precond = CGSolver(
+            A, preconditioner=BlockJacobiPreconditioner(A, 8), rtol=1e-8, max_iter=2000
+        ).solve(b)
+        assert precond.iterations < plain.iterations
+
+
+class TestSSOR:
+    def test_spd_system_preconditioning(self):
+        A = poisson_2d(6)
+        M = SSORPreconditioner(A, omega=1.2)
+        r = np.ones(36)
+        z = M.solve(r)
+        assert np.all(np.isfinite(z))
+        assert z @ r > 0  # SPD preconditioner keeps positivity of the form
+
+    def test_omega_validation(self):
+        with pytest.raises(ValueError):
+            SSORPreconditioner(poisson_2d(4), omega=2.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["identity", "jacobi", "block_jacobi", "ilu0", "ic0", "ssor"]
+    )
+    def test_make_preconditioner(self, name):
+        A = poisson_2d(5)
+        M = make_preconditioner(name, A)
+        z = M.solve(np.ones(25))
+        assert z.shape == (25,)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_preconditioner("multigrid", poisson_2d(4))

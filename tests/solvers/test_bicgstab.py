@@ -1,0 +1,54 @@
+"""Tests for BiCGSTAB."""
+
+import numpy as np
+import pytest
+
+from repro.precond import JacobiPreconditioner
+from repro.solvers import BiCGStabSolver
+from repro.sparse.matrices import diagonally_dominant
+
+
+class TestBiCGStab:
+    def test_converges_on_spd(self, poisson_medium):
+        result = BiCGStabSolver(poisson_medium.A, rtol=1e-9, max_iter=5000).solve(
+            poisson_medium.b
+        )
+        assert result.converged
+        assert np.allclose(result.x, poisson_medium.x_true, atol=1e-5)
+
+    def test_converges_on_nonsymmetric(self):
+        A = diagonally_dominant(80, density=0.06, symmetric=False, seed=5)
+        x_true = np.linspace(-1, 1, 80)
+        b = A @ x_true
+        result = BiCGStabSolver(A, rtol=1e-10, max_iter=2000).solve(b)
+        assert result.converged
+        assert np.allclose(result.x, x_true, atol=1e-6)
+
+    def test_preconditioned_variant(self, poisson_medium):
+        result = BiCGStabSolver(
+            poisson_medium.A,
+            preconditioner=JacobiPreconditioner(poisson_medium.A),
+            rtol=1e-9,
+            max_iter=5000,
+        ).solve(poisson_medium.b)
+        assert result.converged
+
+    def test_callback_invoked(self, poisson_medium):
+        calls = []
+        BiCGStabSolver(poisson_medium.A, rtol=1e-6, max_iter=500).solve(
+            poisson_medium.b, callback=lambda s: calls.append(s.iteration)
+        )
+        assert len(calls) > 0
+
+    def test_restart_from_iterate_converges(self, poisson_medium):
+        solver = BiCGStabSolver(poisson_medium.A, rtol=1e-8, max_iter=5000)
+        full = solver.solve(poisson_medium.b)
+        captured = {}
+
+        def capture(state):
+            if state.iteration == max(1, full.iterations // 2):
+                captured["x"] = state.x
+
+        solver.solve(poisson_medium.b, callback=capture)
+        resumed = solver.solve(poisson_medium.b, x0=captured["x"])
+        assert resumed.converged

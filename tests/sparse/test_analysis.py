@@ -1,0 +1,99 @@
+"""Tests for iteration-matrix spectral analysis (inputs to Theorem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.analysis import (
+    condition_number_estimate,
+    estimate_spectral_radius_power,
+    gauss_seidel_iteration_matrix,
+    is_diagonally_dominant,
+    is_symmetric,
+    jacobi_iteration_matrix,
+    sor_iteration_matrix,
+    spectral_radius,
+    spectral_radius_from_convergence,
+)
+from repro.sparse.poisson import poisson_1d, poisson_2d
+
+
+class TestIterationMatrices:
+    def test_jacobi_radius_known_for_1d_poisson(self):
+        # For tridiag(-1, 2, -1) of size n, rho(G_J) = cos(pi/(n+1)).
+        n = 10
+        G = jacobi_iteration_matrix(poisson_1d(n))
+        expected = np.cos(np.pi / (n + 1))
+        assert spectral_radius(G) == pytest.approx(expected, rel=1e-10)
+
+    def test_gauss_seidel_radius_is_jacobi_squared(self):
+        # Classical result for consistently ordered matrices.
+        n = 8
+        A = poisson_1d(n)
+        rho_j = spectral_radius(jacobi_iteration_matrix(A))
+        rho_gs = spectral_radius(gauss_seidel_iteration_matrix(A))
+        assert rho_gs == pytest.approx(rho_j**2, rel=1e-8)
+
+    def test_sor_optimal_omega_beats_gauss_seidel(self):
+        A = poisson_1d(12)
+        rho_j = spectral_radius(jacobi_iteration_matrix(A))
+        omega_opt = 2.0 / (1.0 + np.sqrt(1.0 - rho_j**2))
+        rho_sor = spectral_radius(sor_iteration_matrix(A, omega_opt))
+        rho_gs = spectral_radius(gauss_seidel_iteration_matrix(A))
+        assert rho_sor < rho_gs
+
+    def test_jacobi_requires_nonzero_diagonal(self):
+        A = np.array([[0.0, 1.0], [1.0, 2.0]])
+        with pytest.raises(ValueError):
+            jacobi_iteration_matrix(A)
+
+    def test_sor_omega_range(self):
+        with pytest.raises(ValueError):
+            sor_iteration_matrix(poisson_1d(5), omega=2.5)
+
+
+class TestSpectralRadiusEstimators:
+    def test_power_iteration_matches_dense(self):
+        G = jacobi_iteration_matrix(poisson_2d(6))
+        exact = spectral_radius(G)
+        estimate = estimate_spectral_radius_power(G, seed=0, iterations=500)
+        assert estimate == pytest.approx(exact, rel=1e-3)
+
+    def test_power_iteration_zero_matrix(self):
+        assert estimate_spectral_radius_power(np.zeros((4, 4)), seed=0) == 0.0
+
+    def test_convergence_based_estimate(self):
+        # If the error decays by 1e-4 over 100 iterations, R = (1e-4)^(1/100).
+        R = spectral_radius_from_convergence(1.0, 1e-4, 100)
+        assert R == pytest.approx(10 ** (-4 / 100))
+
+    def test_convergence_estimate_caps_at_one(self):
+        assert spectral_radius_from_convergence(1.0, 2.0, 10) == 1.0
+
+    def test_convergence_estimate_validates(self):
+        with pytest.raises(ValueError):
+            spectral_radius_from_convergence(1.0, 0.5, 0)
+        with pytest.raises(ValueError):
+            spectral_radius_from_convergence(-1.0, 0.5, 5)
+
+    def test_spectral_radius_requires_square(self):
+        with pytest.raises(ValueError):
+            spectral_radius(np.zeros((2, 3)))
+
+
+class TestMatrixPredicates:
+    def test_is_symmetric_true_and_false(self):
+        assert is_symmetric(poisson_2d(4))
+        asym = poisson_2d(4).tolil()
+        asym[0, 1] = 99.0
+        assert not is_symmetric(asym.tocsr())
+
+    def test_is_diagonally_dominant(self):
+        assert is_diagonally_dominant(poisson_1d(6))
+        assert not is_diagonally_dominant(
+            np.array([[1.0, 5.0], [5.0, 1.0]]), strict=True
+        )
+
+    def test_condition_estimate_poisson(self):
+        cond = condition_number_estimate(poisson_1d(20))
+        dense = np.linalg.cond(poisson_1d(20).toarray())
+        assert cond == pytest.approx(dense, rel=1e-2)

@@ -1,0 +1,28 @@
+"""Tests for sparse-matrix persistence."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.io import load_csr, save_csr
+from repro.sparse.poisson import poisson_2d
+
+
+class TestSaveLoadCSR:
+    def test_roundtrip(self, tmp_path):
+        A = poisson_2d(6)
+        path = tmp_path / "matrix.npz"
+        nbytes = save_csr(path, A)
+        assert nbytes > 0
+        B = load_csr(path)
+        assert (A != B).nnz == 0
+
+    def test_roundtrip_without_extension(self, tmp_path):
+        A = poisson_2d(4)
+        path = tmp_path / "matrix"
+        save_csr(path, A)
+        B = load_csr(path)
+        assert np.allclose(A.toarray(), B.toarray())
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_csr(tmp_path / "absent.npz")

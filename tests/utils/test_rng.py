@@ -1,0 +1,66 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import default_rng, derive_seed, spawn_rngs
+
+
+class TestDefaultRng:
+    def test_returns_generator_from_int(self):
+        gen = default_rng(3)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        a = default_rng(5).integers(0, 1000, size=10)
+        b = default_rng(5).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert default_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(default_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_independent_streams(self):
+        gens = spawn_rngs(0, 2)
+        a = gens[0].random(100)
+        b = gens[1].random(100)
+        assert not np.allclose(a, b)
+
+    def test_reproducible(self):
+        a = spawn_rngs(7, 3)[1].random(5)
+        b = spawn_rngs(7, 3)[1].random(5)
+        assert np.array_equal(a, b)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        gens = spawn_rngs(np.random.default_rng(1), 3)
+        assert len(gens) == 3
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(1, 2, 3) != derive_seed(1, 2, 4)
+
+    def test_order_sensitive(self):
+        assert derive_seed(1, 2, 3) != derive_seed(1, 3, 2)
+
+    def test_none_seed_allowed(self):
+        assert isinstance(derive_seed(None, 1), int)
+
+    def test_nonnegative(self):
+        for salt in range(20):
+            assert derive_seed(123, salt) >= 0

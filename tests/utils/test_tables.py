@@ -1,0 +1,33 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [3, "x"]])
+        assert "a" in out and "bb" in out
+        assert "2.5" in out and "x" in out
+
+    def test_title_rendered_first(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment_consistent_width(self):
+        out = format_table(["col"], [[1], [100000]])
+        lines = out.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]], float_fmt=".2f")
+        assert "0.12" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out

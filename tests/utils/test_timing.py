@@ -1,0 +1,61 @@
+"""Tests for repro.utils.timing."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch, VirtualClock
+
+
+class TestStopwatch:
+    def test_context_manager_measures_time(self):
+        with Stopwatch() as sw:
+            sum(range(1000))
+        assert sw.elapsed >= 0.0
+
+    def test_start_stop(self):
+        sw = Stopwatch()
+        sw.start()
+        elapsed = sw.stop()
+        assert elapsed >= 0.0
+        assert sw.elapsed == elapsed
+
+
+class TestVirtualClock:
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(10.0, "compute")
+        clock.advance(5.0, "checkpoint")
+        assert clock.now == pytest.approx(15.0)
+
+    def test_breakdown_by_category(self):
+        clock = VirtualClock()
+        clock.advance(10.0, "compute")
+        clock.advance(5.0, "compute")
+        clock.advance(3.0, "recovery")
+        assert clock.time_in("compute") == pytest.approx(15.0)
+        assert clock.time_in("recovery") == pytest.approx(3.0)
+        assert clock.time_in("unknown") == 0.0
+
+    def test_negative_advance_raises(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance(7.0)
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.breakdown == {}
+
+    def test_copy_is_independent(self):
+        clock = VirtualClock()
+        clock.advance(2.0, "compute")
+        clone = clock.copy()
+        clone.advance(3.0, "compute")
+        assert clock.now == pytest.approx(2.0)
+        assert clone.now == pytest.approx(5.0)
+
+    def test_event_recording(self):
+        clock = VirtualClock(record_events=True)
+        clock.advance(1.0, "compute")
+        clock.advance(2.0, "checkpoint")
+        assert clock.events == [(1.0, "compute"), (3.0, "checkpoint")]
