@@ -5,8 +5,6 @@ The paper selects SZ over ZFP for 1-D checkpoint data citing better ratios on
 our solvers produce, plus the lossless baselines.
 """
 
-import numpy as np
-import pytest
 from conftest import run_once
 
 from repro.compression import (

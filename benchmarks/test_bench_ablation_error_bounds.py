@@ -7,7 +7,6 @@ CG 10-25%).
 """
 
 import numpy as np
-import pytest
 from conftest import run_once
 
 from repro.compression import SZCompressor

@@ -16,7 +16,7 @@ import sys
 import numpy as np
 
 from repro.cluster import ClusterModel
-from repro.core import CheckpointingScheme, FaultTolerantRunner, paper_scale, run_failure_free
+from repro.core import FaultTolerantRunner, paper_scale, run_failure_free
 from repro.experiments.characterize import measure_scheme_ratio, scheme_timings, standard_schemes
 from repro.experiments.config import DEFAULT_CONFIG, method_problem, method_solver
 from repro.utils.tables import format_table

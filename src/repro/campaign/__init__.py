@@ -1,0 +1,45 @@
+"""Parallel experiment-campaign engine with content-addressed result caching.
+
+The campaign layer is the single API every multi-configuration experiment in
+this repository plugs into:
+
+* :class:`~repro.campaign.spec.CampaignSpec` declares a grid of {scheme x
+  compressor x error bound x interval x MTTI x scale x repetition} cells and
+  expands it into independent, fully self-seeded
+  :class:`~repro.campaign.spec.RunSpec` cells;
+* :class:`~repro.campaign.executor.ParallelExecutor` fans the cells out over
+  a ``ProcessPoolExecutor`` (with a deterministic in-process serial path for
+  ``n_workers=1``) — results are identical regardless of worker count;
+* :class:`~repro.campaign.cache.ResultCache` stores each cell's JSON result
+  content-addressed by the hash of its spec, so re-running a campaign only
+  executes new cells;
+* :class:`~repro.campaign.report.CampaignReport` aggregates the outcomes into
+  tables and deterministic JSON summaries.
+
+``python -m repro.campaign`` exposes presets and JSON specs on the command
+line; the ``repro.experiments.fig*`` modules express each paper figure as a
+campaign plus a thin post-processing step.
+"""
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.execute import execute_cell
+from repro.campaign.executor import (
+    CampaignResult,
+    CellOutcome,
+    ParallelExecutor,
+    run_campaign,
+)
+from repro.campaign.report import CampaignReport
+from repro.campaign.spec import CampaignSpec, RunSpec
+
+__all__ = [
+    "CampaignSpec",
+    "RunSpec",
+    "ResultCache",
+    "ParallelExecutor",
+    "CampaignResult",
+    "CellOutcome",
+    "CampaignReport",
+    "run_campaign",
+    "execute_cell",
+]

@@ -1,0 +1,93 @@
+"""Content-addressed on-disk cache of campaign cell results.
+
+Each cell's :meth:`~repro.campaign.spec.RunSpec.cache_key` (a SHA-256 over the
+canonical JSON of the spec plus an engine version salt) names one JSON file in
+the cache directory holding ``{"spec": ..., "result": ...}``.  Re-running a
+campaign therefore only executes cells whose spec changed; everything else is
+served from disk.  Writes go through a temporary file and ``os.replace`` so
+that concurrent campaigns (or a crash mid-write) never leave a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.campaign.spec import RunSpec
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of ``<cache_key>.json`` cell results."""
+
+    def __init__(self, directory: "str | os.PathLike") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, cell: RunSpec) -> Path:
+        return self.directory / f"{cell.cache_key()}.json"
+
+    def get(self, cell: RunSpec) -> Optional[Dict[str, object]]:
+        """The cached result for ``cell``, or ``None`` on a miss.
+
+        A corrupt entry (torn write from a killed process, manual edit) is
+        treated as a miss and removed so the cell simply re-executes.
+        """
+        path = self._path(cell)
+        try:
+            payload = json.loads(path.read_text())
+            return payload["result"]
+        except OSError:
+            # Missing file or a transient I/O error: a miss, but the entry
+            # (if any) may be perfectly valid — leave it alone.
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, cell: RunSpec, result: Dict[str, object]) -> None:
+        """Store ``result`` for ``cell`` atomically."""
+        path = self._path(cell)
+        payload = json.dumps(
+            {"spec": cell.to_dict(), "result": result}, sort_keys=True
+        )
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, cell: RunSpec) -> bool:
+        return self._path(cell).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def keys(self) -> Iterator[str]:
+        """Cache keys currently stored."""
+        for path in sorted(self.directory.glob("*.json")):
+            yield path.stem
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,337 @@
+"""Execution of one campaign cell.
+
+:func:`execute_cell` is the *only* entry point a worker process needs: it is a
+module-level function of one picklable :class:`~repro.campaign.spec.RunSpec`
+argument, so :class:`concurrent.futures.ProcessPoolExecutor` can ship cells to
+workers directly.  Every handler returns a JSON-safe dictionary (what the
+on-disk result cache stores), and every handler is a deterministic function of
+the cell — the same cell always produces the same dictionary, which is what
+makes the serial and parallel execution paths byte-identical.
+
+Expensive sub-results that many cells share (the failure-free baseline of one
+solver configuration, the compression-ratio characterization of one scheme)
+are memoized per worker process with ``functools.lru_cache``, so a campaign
+sweeping repetitions or scales pays for each baseline/characterization at most
+once per worker.
+
+Imports of the experiment-harness modules are deliberately lazy (inside the
+handlers): the experiment modules themselves import :mod:`repro.campaign`, and
+the lazy imports keep the package import graph acyclic in both directions.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from types import SimpleNamespace
+from typing import Dict, Optional, Tuple
+
+__all__ = ["execute_cell"]
+
+
+def _build_problem_and_solver(cell) -> Tuple[object, object]:
+    """Construct the (problem, solver) pair one cell runs on.
+
+    Delegates to the canonical builders in :mod:`repro.experiments.config` so
+    worker-executed cells always reconstruct exactly what the in-process
+    experiment path would build — the cell's fields are mapped back onto an
+    :class:`~repro.experiments.config.ExperimentConfig` (the inverse of
+    :func:`~repro.experiments.config.campaign_fields`).
+    """
+    from repro.experiments.config import (
+        ExperimentConfig,
+        kkt_problem,
+        kkt_solver,
+        method_problem,
+        method_solver,
+    )
+
+    config = ExperimentConfig(
+        grid_n=cell.grid_n,
+        kkt_n=cell.kkt_n,
+        gmres_restart=cell.gmres_restart,
+        max_iter=cell.max_iter,
+        seed=cell.problem_seed,
+        **({"rtol": {cell.method: cell.rtol}} if cell.rtol is not None else {}),
+    )
+    if cell.method == "kkt":
+        problem = kkt_problem(config)
+        return problem, kkt_solver(config, problem)
+    problem = method_problem(config, cell.method)
+    return problem, method_solver(config, cell.method, problem)
+
+
+def _build_scheme(cell):
+    """The checkpointing scheme one cell runs under."""
+    from repro.core.schemes import CheckpointingScheme
+
+    if cell.scheme == "traditional":
+        return CheckpointingScheme.traditional()
+    if cell.scheme == "lossless":
+        return CheckpointingScheme.lossless()
+    if cell.scheme == "lossy":
+        return CheckpointingScheme.lossy(
+            cell.error_bound, compressor=cell.compressor, adaptive=cell.adaptive
+        )
+    raise ValueError(f"unknown scheme {cell.scheme!r}")
+
+
+def _problem_key(cell) -> Tuple:
+    """The part of a cell that determines its problem/solver/baseline."""
+    return (
+        cell.method,
+        cell.grid_n,
+        cell.kkt_n,
+        cell.problem_seed,
+        cell.rtol,
+        cell.gmres_restart,
+        cell.max_iter,
+    )
+
+
+def _scheme_key(cell) -> Tuple:
+    """The part of a cell that additionally determines its characterization."""
+    return _problem_key(cell) + (
+        cell.scheme,
+        cell.compressor,
+        cell.error_bound,
+        cell.adaptive,
+    )
+
+
+@lru_cache(maxsize=64)
+def _cached_setup(
+    method: str,
+    grid_n: int,
+    kkt_n: int,
+    problem_seed: int,
+    rtol: Optional[float],
+    gmres_restart: int,
+    max_iter: int,
+):
+    """Problem, solver and failure-free baseline for one configuration."""
+    from repro.core.runner import run_failure_free
+
+    cfg = SimpleNamespace(
+        method=method,
+        grid_n=grid_n,
+        kkt_n=kkt_n,
+        problem_seed=problem_seed,
+        rtol=rtol,
+        gmres_restart=gmres_restart,
+        max_iter=max_iter,
+    )
+    problem, solver = _build_problem_and_solver(cfg)
+    baseline = run_failure_free(solver, problem.b)
+    return problem, solver, baseline
+
+
+@lru_cache(maxsize=256)
+def _cached_characterization(
+    method: str,
+    grid_n: int,
+    kkt_n: int,
+    problem_seed: int,
+    rtol: Optional[float],
+    gmres_restart: int,
+    max_iter: int,
+    scheme: str,
+    compressor: str,
+    error_bound: float,
+    adaptive: bool,
+):
+    """Mean compression ratio of one scheme on one solver configuration."""
+    from repro.experiments.characterize import measure_scheme_ratio
+
+    problem, solver, _ = _cached_setup(
+        method, grid_n, kkt_n, problem_seed, rtol, gmres_restart, max_iter
+    )
+    scheme_obj = _build_scheme(
+        SimpleNamespace(
+            scheme=scheme,
+            compressor=compressor,
+            error_bound=error_bound,
+            adaptive=adaptive,
+        )
+    )
+    return measure_scheme_ratio(solver, problem.b, scheme_obj, method=method)
+
+
+def _setup(cell):
+    return _cached_setup(*_problem_key(cell))
+
+
+def _characterization(cell):
+    return _cached_characterization(*_scheme_key(cell))
+
+
+# -- kind handlers ------------------------------------------------------------
+def _run_model(cell) -> Dict[str, object]:
+    """Pure performance-model evaluation (Fig. 1): Eq. (5) at one grid point."""
+    from repro.core.model import expected_overhead_fraction
+
+    lam = cell.param("lam")
+    tckp = cell.param("tckp")
+    if lam is None or tckp is None:
+        raise ValueError(
+            "a 'model' cell needs 'lam' (failures/s) and 'tckp' (checkpoint "
+            f"seconds) in params, got {cell.params!r}"
+        )
+    lam = float(lam)
+    tckp = float(tckp)
+    return {"lam": lam, "tckp": tckp, "overhead_fraction": expected_overhead_fraction(lam, tckp)}
+
+
+def _run_solve(cell) -> Dict[str, object]:
+    """One plain failure-free solve (Fig. 3's KKT system)."""
+    problem, solver = _build_problem_and_solver(cell)
+    result = solver.solve(problem.b)
+    return {
+        "iterations": int(result.iterations),
+        "converged": bool(result.converged),
+        "relative_residual": float(result.relative_residual),
+    }
+
+
+def _run_characterize(cell) -> Dict[str, object]:
+    """Measure one scheme's compression ratio on representative iterates."""
+    char = _characterization(cell)
+    return {
+        "scheme": char.scheme,
+        "method": char.method,
+        "mean_ratio": float(char.mean_ratio),
+        "min_ratio": float(char.min_ratio),
+        "ratios": [float(r) for r in char.ratios],
+        "baseline_iterations": int(char.baseline_iterations),
+    }
+
+
+def _run_extra_iterations(cell) -> Dict[str, object]:
+    """Fig. 2 cell: random lossy restarts, count extra iterations."""
+    from repro.compression.base import make_compressor
+    from repro.core.extra_iterations import measure_extra_iterations
+
+    problem, solver, _ = _setup(cell)
+    compressor = make_compressor(cell.compressor, error_bound=cell.error_bound)
+    trials = int(cell.param("trials", 10))
+    study = measure_extra_iterations(
+        solver, problem.b, compressor, trials=trials, seed=cell.seed
+    )
+    return {
+        "baseline_iterations": int(study.baseline_iterations),
+        "trials": [
+            {
+                "restart_iteration": int(t.restart_iteration),
+                "iterations_after_restart": int(t.iterations_after_restart),
+                "extra_iterations": int(t.extra_iterations),
+                "compression_ratio": float(t.compression_ratio),
+                "converged": bool(t.converged),
+            }
+            for t in study.trials
+        ],
+    }
+
+
+def _run_trajectory(cell) -> Dict[str, object]:
+    """Fig. 9 cell: residual trace with lossy restarts at given fractions."""
+    from repro.compression.base import make_compressor
+    from repro.experiments.fig9_jacobi_trajectories import solve_with_restarts
+
+    problem, solver, baseline = _setup(cell)
+    fractions = cell.param("restart_fractions", ())
+    n = baseline.iterations
+    if not fractions:
+        trace = [[int(i), float(r)] for i, r in enumerate(baseline.residual_norms)]
+        return {
+            "baseline_iterations": int(n),
+            "restart_iterations": [],
+            "trace": trace,
+            "total_iterations": int(n),
+        }
+    compressor = make_compressor(cell.compressor, error_bound=cell.error_bound)
+    points = [max(1, min(n - 1, int(round(float(f) * n)))) for f in fractions]
+    trace, total = solve_with_restarts(solver, problem.b, compressor, points)
+    return {
+        "baseline_iterations": int(n),
+        "restart_iterations": [int(p) for p in points],
+        "trace": [[int(i), float(r)] for i, r in trace],
+        "total_iterations": int(total),
+    }
+
+
+def _run_ft(cell) -> Dict[str, object]:
+    """One failure-injected fault-tolerant run (Figs. 8, 10 and the CLI demo).
+
+    The checkpoint interval follows the paper's two-step methodology: the
+    scheme's checkpoint cost is characterized first, then Young's formula maps
+    it to the interval (unless the cell pins an explicit interval).
+    """
+    from repro.cluster.machine import ClusterModel
+    from repro.core.runner import FaultTolerantRunner
+    from repro.core.scale import paper_scale
+    from repro.experiments.characterize import scheme_timings
+
+    problem, solver, baseline = _setup(cell)
+    scheme = _build_scheme(cell)
+    char = _characterization(cell)
+
+    scale = paper_scale(cell.num_processes)
+    cluster = ClusterModel(num_processes=cell.num_processes)
+    timings = scheme_timings(scheme, cell.method, char.mean_ratio, scale, cluster)
+    iteration_seconds = cluster.calibrated_iteration_time(
+        cell.method, baseline.iterations
+    )
+    interval: Optional[float] = cell.checkpoint_interval_seconds
+    if interval is None:
+        if cell.mtti_seconds is None:
+            raise ValueError(
+                "a failure-free ft cell needs an explicit checkpoint interval"
+            )
+        interval = timings.young_interval(cell.mtti_seconds)
+
+    runner = FaultTolerantRunner(
+        solver,
+        problem.b,
+        scheme,
+        cluster=cluster,
+        scale=scale,
+        mtti_seconds=cell.mtti_seconds,
+        checkpoint_interval_seconds=interval,
+        iteration_seconds=iteration_seconds,
+        method=cell.method,
+        baseline=baseline,
+        seed=cell.seed,
+    )
+    report = runner.run()
+    return {
+        "report": report.to_dict(),
+        "overhead_fraction": float(report.overhead_fraction),
+        "extra_iterations": int(report.extra_iterations),
+        "mean_ratio": float(char.mean_ratio),
+        "estimated_checkpoint_seconds": float(timings.checkpoint_seconds),
+        "estimated_recovery_seconds": float(timings.recovery_seconds),
+        "interval_seconds": float(interval),
+        "iteration_seconds": float(iteration_seconds),
+        "baseline_iterations": int(baseline.iterations),
+    }
+
+
+_HANDLERS = {
+    "ft": _run_ft,
+    "characterize": _run_characterize,
+    "extra_iterations": _run_extra_iterations,
+    "trajectory": _run_trajectory,
+    "solve": _run_solve,
+    "model": _run_model,
+}
+
+
+def execute_cell(cell) -> Dict[str, object]:
+    """Execute one campaign cell and return its JSON-safe result dictionary."""
+    try:
+        handler = _HANDLERS[cell.kind]
+    except KeyError:
+        raise ValueError(f"unknown cell kind {cell.kind!r}; known: {sorted(_HANDLERS)}")
+    result = handler(cell)
+    if not isinstance(result, dict):  # pragma: no cover - handler contract
+        raise TypeError(f"handler for {cell.kind!r} returned {type(result)!r}")
+    return result

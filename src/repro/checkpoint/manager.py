@@ -19,7 +19,7 @@ Algorithm 1/2 (``r = b - A x``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

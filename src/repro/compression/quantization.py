@@ -71,6 +71,17 @@ def quantize_absolute(values: np.ndarray, bound: float) -> QuantizedArray:
             f"{max_abs:g} for 63-bit integer codes"
         )
     codes = np.rint(values / quantum).astype(np.int64)
+    # Rounding in the division can land on the wrong grid neighbour for
+    # large-magnitude values (the quotient is off by an ulp), pushing the
+    # reconstruction error past the bound.  Nudge offending codes one grid
+    # step toward the value; the remaining error is then the irreducible
+    # half-ulp of the reconstruction product itself.
+    if codes.size:
+        error = values - codes.astype(np.float64) * quantum
+        bad = np.abs(error) > bound
+        if np.any(bad):
+            step = np.where(error > 0, 1, -1).astype(np.int64)
+            codes = np.where(bad, codes + step, codes)
     return QuantizedArray(codes=codes, quantum=quantum)
 
 

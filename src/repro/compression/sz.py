@@ -22,7 +22,6 @@ storage of the raw bytes (still satisfying the bound trivially).
 from __future__ import annotations
 
 import zlib
-from typing import Optional
 
 import numpy as np
 

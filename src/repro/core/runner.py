@@ -25,6 +25,7 @@ failure-injection methodology of Section 5.4:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -45,6 +46,17 @@ from repro.utils.validation import check_positive
 __all__ = ["FaultTolerantRunner", "FTRunReport", "run_failure_free", "BaselineRun"]
 
 
+def _json_scalar(value: object) -> object:
+    """Coerce numpy scalars to plain Python so ``json.dumps`` accepts them."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
 @dataclass
 class BaselineRun:
     """Failure-free reference execution of a solver."""
@@ -55,9 +67,27 @@ class BaselineRun:
     final_residual_norm: float
     x: np.ndarray
 
-    @property
-    def productive_seconds(self) -> float:  # pragma: no cover - set by helper
-        raise AttributeError("use iterations * Tit via the cluster model")
+    def productive_seconds(
+        self,
+        iteration_seconds: Optional[float] = None,
+        *,
+        cluster: Optional[ClusterModel] = None,
+        method: Optional[str] = None,
+    ) -> float:
+        """Failure-free productive time, ``iterations * Tit``.
+
+        Pass either ``iteration_seconds`` directly or a ``cluster`` model plus
+        the ``method`` name to look the per-iteration time up from the
+        calibration table.
+        """
+        if iteration_seconds is None:
+            if cluster is None or method is None:
+                raise ValueError(
+                    "provide iteration_seconds, or a cluster model and method "
+                    "name to derive it"
+                )
+            iteration_seconds = cluster.iteration_time(method)
+        return self.iterations * check_positive(iteration_seconds, "iteration_seconds")
 
 
 def run_failure_free(
@@ -126,6 +156,68 @@ class FTRunReport:
         if self.productive_seconds == 0:
             return float("inf")
         return self.fault_tolerance_overhead / self.productive_seconds
+
+    # -- serialization (campaign cache / worker transport) -------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary representation (numpy scalars coerced)."""
+        return {
+            "scheme": str(self.scheme),
+            "method": str(self.method),
+            "converged": bool(self.converged),
+            "total_iterations": int(self.total_iterations),
+            "baseline_iterations": int(self.baseline_iterations),
+            "num_failures": int(self.num_failures),
+            "num_checkpoints": int(self.num_checkpoints),
+            "num_restarts_from_scratch": int(self.num_restarts_from_scratch),
+            "total_seconds": float(self.total_seconds),
+            "productive_seconds": float(self.productive_seconds),
+            "checkpoint_seconds": float(self.checkpoint_seconds),
+            "recovery_seconds": float(self.recovery_seconds),
+            "checkpoint_interval_seconds": float(self.checkpoint_interval_seconds),
+            "mean_checkpoint_seconds": float(self.mean_checkpoint_seconds),
+            "mean_recovery_seconds": float(self.mean_recovery_seconds),
+            "mean_compression_ratio": float(self.mean_compression_ratio),
+            "residual_trace": [
+                [int(it), float(res)] for it, res in self.residual_trace
+            ],
+            "info": {str(k): _json_scalar(v) for k, v in self.info.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FTRunReport":
+        """Rebuild a report from :meth:`to_dict` output (or parsed JSON)."""
+        return cls(
+            scheme=str(data["scheme"]),
+            method=str(data["method"]),
+            converged=bool(data["converged"]),
+            total_iterations=int(data["total_iterations"]),
+            baseline_iterations=int(data["baseline_iterations"]),
+            num_failures=int(data["num_failures"]),
+            num_checkpoints=int(data["num_checkpoints"]),
+            num_restarts_from_scratch=int(data["num_restarts_from_scratch"]),
+            total_seconds=float(data["total_seconds"]),
+            productive_seconds=float(data["productive_seconds"]),
+            checkpoint_seconds=float(data["checkpoint_seconds"]),
+            recovery_seconds=float(data["recovery_seconds"]),
+            checkpoint_interval_seconds=float(data["checkpoint_interval_seconds"]),
+            mean_checkpoint_seconds=float(data["mean_checkpoint_seconds"]),
+            mean_recovery_seconds=float(data["mean_recovery_seconds"]),
+            mean_compression_ratio=float(data["mean_compression_ratio"]),
+            residual_trace=[
+                (int(it), float(res)) for it, res in data.get("residual_trace", [])
+            ],
+            info=dict(data.get("info", {})),
+        )
+
+    def to_json(self, **kwargs) -> str:
+        """Serialize to a JSON string (``sort_keys`` for byte-determinism)."""
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FTRunReport":
+        """Rebuild a report from a :meth:`to_json` string."""
+        return cls.from_dict(json.loads(payload))
 
 
 class _FailureSignal(SolverInterrupt):

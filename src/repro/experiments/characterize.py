@@ -19,13 +19,21 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.campaign.spec import RunSpec
 from repro.cluster.machine import ClusterModel
 from repro.core.model import CheckpointTimings
 from repro.core.scale import ExperimentScale
 from repro.core.schemes import CheckpointingScheme
 from repro.solvers.base import IterativeSolver
 
-__all__ = ["SchemeCharacterization", "measure_scheme_ratio", "scheme_timings"]
+__all__ = [
+    "SchemeCharacterization",
+    "measure_scheme_ratio",
+    "scheme_timings",
+    "standard_schemes",
+    "characterize_cells",
+    "characterization_from_result",
+]
 
 
 @dataclass
@@ -139,3 +147,42 @@ def standard_schemes(
         CheckpointingScheme.lossless(),
         CheckpointingScheme.lossy(error_bound, adaptive=adaptive),
     ]
+
+
+def characterize_cells(
+    config,
+    method: str,
+    *,
+    schemes: Sequence[str] = ("traditional", "lossless", "lossy"),
+    compressor: str = "sz",
+) -> List[RunSpec]:
+    """Campaign cells measuring each scheme's compression ratio for ``method``.
+
+    One cell per scheme; mirrors :func:`standard_schemes` (the lossy scheme
+    gets the adaptive Theorem-3 bound for GMRES).
+    """
+    from repro.experiments.config import campaign_fields
+
+    return [
+        RunSpec(
+            kind="characterize",
+            scheme=scheme,
+            compressor=compressor,
+            error_bound=config.error_bound,
+            adaptive=(scheme == "lossy" and method == "gmres"),
+            seed=config.seed,
+            **campaign_fields(config, method),
+        )
+        for scheme in schemes
+    ]
+
+
+def characterization_from_result(result) -> SchemeCharacterization:
+    """Rebuild a :class:`SchemeCharacterization` from a cell's JSON result."""
+    return SchemeCharacterization(
+        scheme=str(result["scheme"]),
+        method=str(result["method"]),
+        mean_ratio=float(result["mean_ratio"]),
+        ratios=[float(r) for r in result["ratios"]],
+        baseline_iterations=int(result["baseline_iterations"]),
+    )

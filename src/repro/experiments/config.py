@@ -13,7 +13,7 @@ repetitions).  Two presets are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.precond import JacobiPreconditioner
 from repro.sparse.kkt import KKTProblem, kkt_system
@@ -26,6 +26,7 @@ __all__ = [
     "DEFAULT_CONFIG",
     "method_solver",
     "method_problem",
+    "campaign_fields",
     "PAPER_RTOL",
 ]
 
@@ -113,6 +114,25 @@ def method_solver(
             A, rtol=rtol, restart=config.gmres_restart, max_iter=config.max_iter
         )
     raise ValueError(f"unknown method {method!r}")
+
+
+def campaign_fields(config: ExperimentConfig, method: str) -> Dict[str, object]:
+    """RunSpec constructor kwargs capturing this config's problem/solver knobs.
+
+    Every figure module builds its campaign cells through this helper so a
+    cell executed in a worker process reconstructs exactly the problem and
+    solver that :func:`method_problem`/:func:`method_solver` would build in
+    process.
+    """
+    return {
+        "method": method,
+        "problem_seed": config.seed,
+        "grid_n": config.grid_n,
+        "kkt_n": config.kkt_n,
+        "rtol": 1e-6 if method == "kkt" else config.rtol.get(method, 1e-6),
+        "gmres_restart": config.gmres_restart,
+        "max_iter": config.max_iter,
+    }
 
 
 def kkt_problem(config: ExperimentConfig) -> KKTProblem:

@@ -16,19 +16,17 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.machine import ClusterModel
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import RunSpec
 from repro.core.model import (
     expected_overhead_fraction,
     lossy_expected_overhead_fraction,
 )
-from repro.core.runner import FaultTolerantRunner, run_failure_free
-from repro.core.scale import paper_scale
-from repro.experiments.characterize import measure_scheme_ratio, scheme_timings, standard_schemes
-from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, method_problem, method_solver
+from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, campaign_fields
 from repro.utils.rng import derive_seed
 from repro.utils.tables import format_table
 
-__all__ = ["Fig10Result", "run_fig10", "fig10_table"]
+__all__ = ["Fig10Result", "fig10_cells", "run_fig10", "fig10_table"]
 
 PAPER_METHODS = ("jacobi", "gmres", "cg")
 PAPER_SCHEMES = ("traditional", "lossless", "lossy")
@@ -58,15 +56,41 @@ class Fig10Result:
         return (reference - lossy) / reference
 
 
+def fig10_cells(
+    config: ExperimentConfig,
+    *,
+    methods: Sequence[str] = PAPER_METHODS,
+    num_processes: int = 2048,
+) -> List[RunSpec]:
+    """The Figure 10 campaign: Young-optimal ft runs per method x scheme x rep."""
+    return [
+        RunSpec(
+            kind="ft",
+            scheme=scheme,
+            compressor="sz",
+            error_bound=config.error_bound,
+            adaptive=(scheme == "lossy" and method == "gmres"),
+            num_processes=int(num_processes),
+            mtti_seconds=config.mtti_seconds,
+            repetition=rep,
+            seed=derive_seed(config.seed, rep, method, scheme),
+            **campaign_fields(config, method),
+        )
+        for method in methods
+        for scheme in PAPER_SCHEMES
+        for rep in range(config.repetitions)
+    ]
+
+
 def run_fig10(
     config: ExperimentConfig = SMALL_CONFIG,
     *,
     methods: Sequence[str] = PAPER_METHODS,
     num_processes: int = 2048,
+    n_workers: int = 1,
+    cache=None,
 ) -> Fig10Result:
     """Run the optimal-interval failure-injected comparison at one scale."""
-    scale = paper_scale(num_processes)
-    cluster = ClusterModel(num_processes=num_processes)
     lam = 1.0 / config.mtti_seconds
 
     result = Fig10Result(
@@ -75,64 +99,47 @@ def run_fig10(
         mtti_seconds=config.mtti_seconds,
         repetitions=config.repetitions,
     )
+    cells = fig10_cells(
+        config, methods=result.methods, num_processes=num_processes
+    )
+    outcome = run_campaign(cells, n_workers=n_workers, cache=cache)
+
+    overheads: Dict[Tuple[str, str], List[float]] = {}
+    extra_fracs: Dict[Tuple[str, str], List[float]] = {}
+    iteration_seconds: Dict[str, float] = {}
+    for cell, cell_result in zip(outcome.cells(), outcome.results()):
+        key = (cell.method, cell.scheme)
+        report = cell_result["report"]
+        result.baseline_iterations[cell.method] = int(cell_result["baseline_iterations"])
+        result.checkpoint_seconds[key] = float(cell_result["estimated_checkpoint_seconds"])
+        result.intervals[key] = float(cell_result["interval_seconds"])
+        iteration_seconds[cell.method] = float(cell_result["iteration_seconds"])
+        overheads.setdefault(key, []).append(float(cell_result["overhead_fraction"]))
+        if int(report["num_failures"]) > 0:
+            extra_fracs.setdefault(key, []).append(
+                int(cell_result["extra_iterations"]) / max(1, int(report["num_failures"]))
+            )
 
     for method in result.methods:
-        problem = method_problem(config, method)
-        solver = method_solver(config, method, problem)
-        baseline = run_failure_free(solver, problem.b)
-        result.baseline_iterations[method] = baseline.iterations
-        iteration_seconds = cluster.calibrated_iteration_time(method, baseline.iterations)
-
-        for scheme in standard_schemes(config.error_bound, method=method):
-            characterization = measure_scheme_ratio(
-                solver, problem.b, scheme, method=method
-            )
-            timings = scheme_timings(
-                scheme, method, characterization.mean_ratio, scale, cluster
-            )
-            key = (method, scheme.name)
-            result.checkpoint_seconds[key] = timings.checkpoint_seconds
-            interval = timings.young_interval(config.mtti_seconds)
-            result.intervals[key] = interval
-
-            overheads = []
-            extra_fracs = []
-            for rep in range(config.repetitions):
-                runner = FaultTolerantRunner(
-                    solver,
-                    problem.b,
-                    scheme,
-                    cluster=cluster,
-                    scale=scale,
-                    mtti_seconds=config.mtti_seconds,
-                    checkpoint_interval_seconds=interval,
-                    iteration_seconds=iteration_seconds,
-                    method=method,
-                    baseline=baseline,
-                    seed=derive_seed(config.seed, rep, method, scheme.name),
-                )
-                report = runner.run()
-                overheads.append(report.overhead_fraction)
-                if report.num_failures > 0:
-                    extra_fracs.append(
-                        report.extra_iterations / max(1, report.num_failures)
-                    )
-            result.experimental[key] = float(np.mean(overheads))
-
-            if scheme.name == "lossy":
-                mean_extra_per_failure = float(np.mean(extra_fracs)) if extra_fracs else 0.0
+        baseline_iterations = result.baseline_iterations[method]
+        for scheme in PAPER_SCHEMES:
+            key = (method, scheme)
+            result.experimental[key] = float(np.mean(overheads[key]))
+            if scheme == "lossy":
+                fracs = extra_fracs.get(key, [])
+                mean_extra_per_failure = float(np.mean(fracs)) if fracs else 0.0
                 result.extra_iteration_fraction[method] = (
-                    mean_extra_per_failure / max(1, baseline.iterations)
+                    mean_extra_per_failure / max(1, baseline_iterations)
                 )
                 result.expected[key] = lossy_expected_overhead_fraction(
                     lam,
-                    timings.checkpoint_seconds,
+                    result.checkpoint_seconds[key],
                     mean_extra_per_failure,
-                    iteration_seconds,
+                    iteration_seconds[method],
                 )
             else:
                 result.expected[key] = expected_overhead_fraction(
-                    lam, timings.checkpoint_seconds
+                    lam, result.checkpoint_seconds[key]
                 )
     return result
 

@@ -13,10 +13,11 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.core.model import expected_overhead_fraction
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import RunSpec
 from repro.utils.tables import format_table
 
-__all__ = ["Fig1Result", "run_fig1", "fig1_table"]
+__all__ = ["Fig1Result", "fig1_cells", "run_fig1", "fig1_table"]
 
 
 @dataclass
@@ -35,22 +36,41 @@ class Fig1Result:
         return self.overhead_fraction[i][j]
 
 
+def fig1_cells(
+    failure_rates_per_hour: Sequence[float],
+    checkpoint_seconds: Sequence[float],
+) -> List[RunSpec]:
+    """The campaign cells of Figure 1: one Eq. (5) evaluation per grid point."""
+    return [
+        RunSpec(
+            kind="model",
+            scheme="traditional",
+            params={"lam": float(rate) / 3600.0, "tckp": float(tckp)},
+        )
+        for rate in failure_rates_per_hour
+        for tckp in checkpoint_seconds
+    ]
+
+
 def run_fig1(
     *,
     failure_rates_per_hour: Sequence[float] = (0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5),
     checkpoint_seconds: Sequence[float] = (10, 20, 40, 60, 80, 100, 120, 140),
+    n_workers: int = 1,
+    cache=None,
 ) -> Fig1Result:
     """Evaluate Eq. (5) on the requested grid of (failure rate, Tckp)."""
     result = Fig1Result(
         failure_rates_per_hour=[float(r) for r in failure_rates_per_hour],
         checkpoint_seconds=[float(t) for t in checkpoint_seconds],
     )
-    for rate in result.failure_rates_per_hour:
-        lam = rate / 3600.0
-        row = [
-            expected_overhead_fraction(lam, tckp) for tckp in result.checkpoint_seconds
-        ]
-        result.overhead_fraction.append(row)
+    cells = fig1_cells(result.failure_rates_per_hour, result.checkpoint_seconds)
+    outcome = run_campaign(cells, n_workers=n_workers, cache=cache)
+    values = iter(outcome.results())
+    for _ in result.failure_rates_per_hour:
+        result.overhead_fraction.append(
+            [float(next(values)["overhead_fraction"]) for _ in result.checkpoint_seconds]
+        )
     return result
 
 

@@ -11,12 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.compression.sz import SZCompressor
-from repro.core.extra_iterations import ExtraIterationStudy, measure_extra_iterations
-from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, method_problem, method_solver
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import RunSpec
+from repro.core.extra_iterations import ExtraIterationStudy, ExtraIterationTrial
+from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, campaign_fields
 from repro.utils.tables import format_table
 
-__all__ = ["Fig2Result", "run_fig2", "fig2_table"]
+__all__ = ["Fig2Result", "fig2_cells", "run_fig2", "fig2_table"]
 
 #: The error bounds on the x-axis of Figure 2.
 PAPER_ERROR_BOUNDS = (1e-3, 1e-4, 1e-5, 1e-6)
@@ -35,37 +36,63 @@ class Fig2Result:
         return self.studies[eb].mean_extra_fraction
 
 
+def fig2_cells(
+    config: ExperimentConfig,
+    *,
+    error_bounds: Sequence[float] = PAPER_ERROR_BOUNDS,
+    method: str = "cg",
+    trials: int = None,
+) -> List[RunSpec]:
+    """The Figure 2 campaign: one random-restart study per error bound."""
+    trials = config.repetitions * 3 if trials is None else int(trials)
+    return [
+        RunSpec(
+            kind="extra_iterations",
+            scheme="lossy",
+            compressor="sz",
+            error_bound=float(eb),
+            seed=config.seed + index,
+            params={"trials": trials},
+            **campaign_fields(config, method),
+        )
+        for index, eb in enumerate(error_bounds)
+    ]
+
+
+def _study_from_result(result: Dict[str, object]) -> ExtraIterationStudy:
+    """Rebuild an :class:`ExtraIterationStudy` from a cell's JSON result."""
+    study = ExtraIterationStudy(baseline_iterations=int(result["baseline_iterations"]))
+    for trial in result["trials"]:
+        study.trials.append(ExtraIterationTrial(**trial))
+    return study
+
+
 def run_fig2(
     config: ExperimentConfig = SMALL_CONFIG,
     *,
     error_bounds: Sequence[float] = PAPER_ERROR_BOUNDS,
     method: str = "cg",
     trials: int = None,
+    n_workers: int = 1,
+    cache=None,
 ) -> Fig2Result:
     """Run the random-restart experiment for each error bound."""
-    problem = method_problem(config, method)
-    solver = method_solver(config, method, problem)
-    trials = config.repetitions * 3 if trials is None else int(trials)
+    cells = fig2_cells(
+        config, error_bounds=error_bounds, method=method, trials=trials
+    )
+    outcome = run_campaign(cells, n_workers=n_workers, cache=cache)
 
-    result: Fig2Result = None  # type: ignore[assignment]
     studies: Dict[float, ExtraIterationStudy] = {}
     baseline_iterations = 0
-    for index, eb in enumerate(error_bounds):
-        study = measure_extra_iterations(
-            solver,
-            problem.b,
-            SZCompressor(float(eb)),
-            trials=trials,
-            seed=config.seed + index,
-        )
-        studies[float(eb)] = study
+    for cell, cell_result in zip(outcome.cells(), outcome.results()):
+        study = _study_from_result(cell_result)
+        studies[cell.error_bound] = study
         baseline_iterations = study.baseline_iterations
-    result = Fig2Result(
+    return Fig2Result(
         baseline_iterations=baseline_iterations,
         error_bounds=[float(e) for e in error_bounds],
         studies=studies,
     )
-    return result
 
 
 def fig2_table(result: Fig2Result) -> str:

@@ -15,11 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import RunSpec
 from repro.cluster.machine import PAPER_BASELINE_SECONDS
-from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, kkt_problem, kkt_solver
+from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, campaign_fields
 from repro.utils.tables import format_table
 
-__all__ = ["Fig3Result", "run_fig3", "fig3_table"]
+__all__ = ["Fig3Result", "fig3_cells", "run_fig3", "fig3_table"]
 
 #: Process counts on the x-axis of Figure 3.
 PAPER_PROCESS_COUNTS = (256, 512, 1024, 2048, 4096)
@@ -43,20 +45,26 @@ class Fig3Result:
     modeled_seconds: Dict[int, float] = field(default_factory=dict)
 
 
+def fig3_cells(config: ExperimentConfig) -> List[RunSpec]:
+    """The Figure 3 campaign: one failure-free solve of the KKT system."""
+    return [RunSpec(kind="solve", scheme="traditional", **campaign_fields(config, "kkt"))]
+
+
 def run_fig3(
     config: ExperimentConfig = SMALL_CONFIG,
     *,
     process_counts: Sequence[int] = PAPER_PROCESS_COUNTS,
+    n_workers: int = 1,
+    cache=None,
 ) -> Fig3Result:
     """Solve the synthetic KKT system once and model the scaling curve."""
-    problem = kkt_problem(config)
-    solver = kkt_solver(config, problem)
-    solution = solver.solve(problem.b)
+    outcome = run_campaign(fig3_cells(config), n_workers=n_workers, cache=cache)
+    solution = outcome.results()[0]
 
     result = Fig3Result(
-        iterations=solution.iterations,
-        converged=solution.converged,
-        relative_residual=solution.relative_residual,
+        iterations=int(solution["iterations"]),
+        converged=bool(solution["converged"]),
+        relative_residual=float(solution["relative_residual"]),
         process_counts=[int(p) for p in process_counts],
     )
     reference_procs = max(result.process_counts)

@@ -13,13 +13,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import RunSpec
 from repro.cluster.machine import ClusterModel
 from repro.core.scale import paper_scale
-from repro.experiments.characterize import measure_scheme_ratio, scheme_timings, standard_schemes
-from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, method_problem, method_solver
+from repro.experiments.characterize import (
+    characterize_cells,
+    scheme_timings,
+    standard_schemes,
+)
+from repro.experiments.config import ExperimentConfig, SMALL_CONFIG
 from repro.utils.tables import format_table
 
-__all__ = ["Fig456Result", "run_fig456", "fig456_table", "FIGURE_FOR_METHOD"]
+__all__ = ["Fig456Result", "fig456_cells", "run_fig456", "fig456_table", "FIGURE_FOR_METHOD"]
 
 #: Which paper figure corresponds to which method.
 FIGURE_FOR_METHOD = {"jacobi": "Figure 4", "gmres": "Figure 5", "cg": "Figure 6"}
@@ -47,31 +53,42 @@ class Fig456Result:
         return self.recovery_seconds[(int(processes), scheme)]
 
 
+def fig456_cells(
+    config: ExperimentConfig, *, method: str = "jacobi"
+) -> List[RunSpec]:
+    """The Fig. 4/5/6 campaign: one characterization per scheme."""
+    return characterize_cells(config, method, schemes=PAPER_SCHEMES)
+
+
 def run_fig456(
     config: ExperimentConfig = SMALL_CONFIG,
     *,
     method: str = "jacobi",
     process_counts: Sequence[int] = None,
+    n_workers: int = 1,
+    cache=None,
 ) -> Fig456Result:
     """Characterize one method's checkpoint/recovery times across scales."""
     process_counts = list(config.process_counts if process_counts is None else process_counts)
-    problem = method_problem(config, method)
-    solver = method_solver(config, method, problem)
-
     result = Fig456Result(method=method, process_counts=[int(p) for p in process_counts])
-    schemes = standard_schemes(config.error_bound, method=method)
-    characterizations = {}
-    for scheme in schemes:
-        char = measure_scheme_ratio(solver, problem.b, scheme, method=method)
-        characterizations[scheme.name] = (scheme, char)
-        result.ratios[scheme.name] = char.mean_ratio
-        result.baseline_iterations = char.baseline_iterations
+
+    outcome = run_campaign(
+        fig456_cells(config, method=method), n_workers=n_workers, cache=cache
+    )
+    schemes = {
+        scheme.name: scheme for scheme in standard_schemes(config.error_bound, method=method)
+    }
+    for cell, cell_result in zip(outcome.cells(), outcome.results()):
+        result.ratios[cell.scheme] = float(cell_result["mean_ratio"])
+        result.baseline_iterations = int(cell_result["baseline_iterations"])
 
     for processes in result.process_counts:
         scale = paper_scale(processes)
         cluster = ClusterModel(num_processes=processes)
-        for scheme_name, (scheme, char) in characterizations.items():
-            timings = scheme_timings(scheme, method, char.mean_ratio, scale, cluster)
+        for scheme_name, scheme in schemes.items():
+            timings = scheme_timings(
+                scheme, method, result.ratios[scheme_name], scale, cluster
+            )
             result.checkpoint_seconds[(processes, scheme_name)] = timings.checkpoint_seconds
             result.recovery_seconds[(processes, scheme_name)] = timings.recovery_seconds
     return result

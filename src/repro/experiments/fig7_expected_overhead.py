@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import RunSpec
 from repro.cluster.machine import (
     ClusterModel,
     PAPER_BASELINE_ITERATIONS,
@@ -21,11 +23,17 @@ from repro.cluster.machine import (
 from repro.core.model import expected_overhead_fraction, lossy_expected_overhead_fraction
 from repro.core.scale import paper_scale
 from repro.core.stationary_theory import expected_extra_iterations_interval
-from repro.experiments.characterize import measure_scheme_ratio, scheme_timings, standard_schemes
-from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, method_problem, method_solver
+from repro.experiments.characterize import characterize_cells, scheme_timings, standard_schemes
+from repro.experiments.config import ExperimentConfig, SMALL_CONFIG
 from repro.utils.tables import format_table
 
-__all__ = ["Fig7Result", "run_fig7", "fig7_table", "paper_expected_extra_iterations"]
+__all__ = [
+    "Fig7Result",
+    "fig7_cells",
+    "run_fig7",
+    "fig7_table",
+    "paper_expected_extra_iterations",
+]
 
 PAPER_METHODS = ("jacobi", "gmres", "cg")
 PAPER_SCHEMES = ("traditional", "lossless", "lossy")
@@ -66,11 +74,23 @@ class Fig7Result:
         return self.overhead[(float(mtti_hours), int(processes), method, scheme)]
 
 
+def fig7_cells(
+    config: ExperimentConfig, *, methods: Sequence[str] = PAPER_METHODS
+) -> List[RunSpec]:
+    """The Figure 7 campaign: one characterization per method x scheme."""
+    cells: List[RunSpec] = []
+    for method in methods:
+        cells.extend(characterize_cells(config, method, schemes=PAPER_SCHEMES))
+    return cells
+
+
 def run_fig7(
     config: ExperimentConfig = SMALL_CONFIG,
     *,
     mtti_hours: Sequence[float] = (1.0, 3.0),
     methods: Sequence[str] = PAPER_METHODS,
+    n_workers: int = 1,
+    cache=None,
 ) -> Fig7Result:
     """Evaluate the expected-overhead model across scales and failure rates."""
     result = Fig7Result(
@@ -78,13 +98,20 @@ def run_fig7(
         process_counts=[int(p) for p in config.process_counts],
         methods=[str(m) for m in methods],
     )
-    characterizations = {}
+    outcome = run_campaign(
+        fig7_cells(config, methods=result.methods), n_workers=n_workers, cache=cache
+    )
+    ratios: Dict[Tuple[str, str], float] = {}
+    for cell, cell_result in zip(outcome.cells(), outcome.results()):
+        ratios[(cell.method, cell.scheme)] = float(cell_result["mean_ratio"])
+    schemes_by_method = {
+        method: {
+            scheme.name: scheme
+            for scheme in standard_schemes(config.error_bound, method=method)
+        }
+        for method in result.methods
+    }
     for method in result.methods:
-        problem = method_problem(config, method)
-        solver = method_solver(config, method, problem)
-        for scheme in standard_schemes(config.error_bound, method=method):
-            char = measure_scheme_ratio(solver, problem.b, scheme, method=method)
-            characterizations[(method, scheme.name)] = (scheme, char)
         result.extra_iterations[method] = paper_expected_extra_iterations(
             method, error_bound=config.error_bound
         )
@@ -97,9 +124,9 @@ def run_fig7(
             for method in result.methods:
                 iteration_seconds = PAPER_ITERATION_SECONDS[method]
                 for scheme_name in PAPER_SCHEMES:
-                    scheme, char = characterizations[(method, scheme_name)]
+                    scheme = schemes_by_method[method][scheme_name]
                     timings = scheme_timings(
-                        scheme, method, char.mean_ratio, scale, cluster
+                        scheme, method, ratios[(method, scheme_name)], scale, cluster
                     )
                     if scheme_name == "lossy":
                         overhead = lossy_expected_overhead_fraction(

@@ -14,16 +14,13 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.machine import ClusterModel
-from repro.core.runner import FaultTolerantRunner, run_failure_free
-from repro.core.scale import paper_scale
-from repro.core.schemes import CheckpointingScheme
-from repro.experiments.characterize import measure_scheme_ratio, scheme_timings
-from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, method_problem, method_solver
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import RunSpec
+from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, campaign_fields
 from repro.utils.rng import derive_seed
 from repro.utils.tables import format_table
 
-__all__ = ["Fig8Result", "run_fig8", "fig8_table"]
+__all__ = ["Fig8Result", "fig8_cells", "run_fig8", "fig8_table"]
 
 PAPER_METHODS = ("jacobi", "gmres", "cg")
 PAPER_FIG8_PROCESSES = (256, 512, 1024, 2048)
@@ -47,11 +44,39 @@ class Fig8Result:
         return (self.lossy_iterations[(method, int(processes))] - baseline) / baseline
 
 
+def fig8_cells(
+    config: ExperimentConfig,
+    *,
+    methods: Sequence[str] = PAPER_METHODS,
+    process_counts: Sequence[int],
+) -> List[RunSpec]:
+    """The Figure 8 campaign: lossy ft runs over method x scale x repetition."""
+    return [
+        RunSpec(
+            kind="ft",
+            scheme="lossy",
+            compressor="sz",
+            error_bound=config.error_bound,
+            adaptive=(method == "gmres"),
+            num_processes=int(processes),
+            mtti_seconds=config.mtti_seconds,
+            repetition=rep,
+            seed=derive_seed(config.seed, processes, rep, method),
+            **campaign_fields(config, method),
+        )
+        for method in methods
+        for processes in process_counts
+        for rep in range(config.repetitions)
+    ]
+
+
 def run_fig8(
     config: ExperimentConfig = SMALL_CONFIG,
     *,
     methods: Sequence[str] = PAPER_METHODS,
     process_counts: Sequence[int] = None,
+    n_workers: int = 1,
+    cache=None,
 ) -> Fig8Result:
     """Run the lossy-checkpointing failure-injected convergence study."""
     if process_counts is None:
@@ -62,46 +87,22 @@ def run_fig8(
         methods=[str(m) for m in methods],
         process_counts=[int(p) for p in process_counts],
     )
-    for method in result.methods:
-        problem = method_problem(config, method)
-        solver = method_solver(config, method, problem)
-        baseline = run_failure_free(solver, problem.b)
-        result.baseline_iterations[method] = baseline.iterations
-        scheme = CheckpointingScheme.lossy(
-            config.error_bound, adaptive=(method == "gmres")
-        )
-        characterization = measure_scheme_ratio(solver, problem.b, scheme, method=method)
+    cells = fig8_cells(
+        config, methods=result.methods, process_counts=result.process_counts
+    )
+    outcome = run_campaign(cells, n_workers=n_workers, cache=cache)
 
-        for processes in result.process_counts:
-            scale = paper_scale(processes)
-            cluster = ClusterModel(num_processes=processes)
-            timings = scheme_timings(
-                scheme, method, characterization.mean_ratio, scale, cluster
-            )
-            iteration_seconds = cluster.calibrated_iteration_time(
-                method, baseline.iterations
-            )
-            totals = []
-            failures = []
-            for rep in range(config.repetitions):
-                runner = FaultTolerantRunner(
-                    solver,
-                    problem.b,
-                    scheme,
-                    cluster=cluster,
-                    scale=scale,
-                    mtti_seconds=config.mtti_seconds,
-                    estimated_checkpoint_seconds=timings.checkpoint_seconds,
-                    iteration_seconds=iteration_seconds,
-                    method=method,
-                    baseline=baseline,
-                    seed=derive_seed(config.seed, processes, rep, method),
-                )
-                report = runner.run()
-                totals.append(report.total_iterations)
-                failures.append(report.num_failures)
-            result.lossy_iterations[(method, processes)] = float(np.mean(totals))
-            result.num_failures[(method, processes)] = float(np.mean(failures))
+    totals: Dict[Tuple[str, int], List[float]] = {}
+    failures: Dict[Tuple[str, int], List[float]] = {}
+    for cell, cell_result in zip(outcome.cells(), outcome.results()):
+        key = (cell.method, cell.num_processes)
+        report = cell_result["report"]
+        result.baseline_iterations[cell.method] = int(cell_result["baseline_iterations"])
+        totals.setdefault(key, []).append(float(report["total_iterations"]))
+        failures.setdefault(key, []).append(float(report["num_failures"]))
+    for key in totals:
+        result.lossy_iterations[key] = float(np.mean(totals[key]))
+        result.num_failures[key] = float(np.mean(failures[key]))
     return result
 
 

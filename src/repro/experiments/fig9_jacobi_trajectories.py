@@ -16,11 +16,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.compression.sz import SZCompressor
-from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, method_problem, method_solver
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import RunSpec
+from repro.compression.base import Compressor
+from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, campaign_fields
 from repro.utils.tables import format_table
 
-__all__ = ["Fig9Result", "run_fig9", "fig9_table"]
+__all__ = ["Fig9Result", "fig9_cells", "run_fig9", "fig9_table", "solve_with_restarts"]
 
 
 @dataclass
@@ -38,8 +40,8 @@ class Fig9Result:
         return self.total_iterations[label] - self.baseline_iterations
 
 
-def _solve_with_restarts(
-    solver, b: np.ndarray, compressor: SZCompressor, restart_points: Sequence[int]
+def solve_with_restarts(
+    solver, b: np.ndarray, compressor: Compressor, restart_points: Sequence[int]
 ) -> Tuple[List[Tuple[int, float]], int]:
     """Run the solver, injecting a lossy restart at each point in order."""
     trace: List[Tuple[int, float]] = []
@@ -74,33 +76,64 @@ def _solve_with_restarts(
         remaining.pop(0)
 
 
+#: The three traces of Figure 9 and their lossy-restart fractions.
+FIG9_LABELS = ("no failure", "1 lossy restart", "2 lossy restarts")
+
+
+def fig9_cells(
+    config: ExperimentConfig,
+    *,
+    restart_fractions_one: Sequence[float] = (0.45,),
+    restart_fractions_two: Sequence[float] = (0.3, 0.65),
+    method: str = "jacobi",
+) -> List[RunSpec]:
+    """The Figure 9 campaign: one trajectory cell per trace."""
+    fractions_by_label = {
+        "no failure": (),
+        "1 lossy restart": tuple(float(f) for f in restart_fractions_one),
+        "2 lossy restarts": tuple(float(f) for f in restart_fractions_two),
+    }
+    return [
+        RunSpec(
+            kind="trajectory",
+            scheme="lossy",
+            compressor="sz",
+            error_bound=config.error_bound,
+            seed=config.seed,
+            params={"restart_fractions": fractions_by_label[label], "label": label},
+            **campaign_fields(config, method),
+        )
+        for label in FIG9_LABELS
+    ]
+
+
 def run_fig9(
     config: ExperimentConfig = SMALL_CONFIG,
     *,
     restart_fractions_one: Sequence[float] = (0.45,),
     restart_fractions_two: Sequence[float] = (0.3, 0.65),
+    n_workers: int = 1,
+    cache=None,
 ) -> Fig9Result:
     """Build the three Jacobi traces (0, 1 and 2 lossy restarts)."""
-    problem = method_problem(config, "jacobi")
-    solver = method_solver(config, "jacobi", problem)
-    compressor = SZCompressor(config.error_bound)
+    cells = fig9_cells(
+        config,
+        restart_fractions_one=restart_fractions_one,
+        restart_fractions_two=restart_fractions_two,
+    )
+    outcome = run_campaign(cells, n_workers=n_workers, cache=cache)
 
-    baseline = solver.solve(problem.b)
-    n = baseline.iterations
-    result = Fig9Result(baseline_iterations=n)
-    result.traces["no failure"] = list(enumerate(baseline.residual_norms))
-    result.restart_iterations["no failure"] = []
-    result.total_iterations["no failure"] = n
-
-    for label, fractions in (
-        ("1 lossy restart", restart_fractions_one),
-        ("2 lossy restarts", restart_fractions_two),
-    ):
-        points = [max(1, min(n - 1, int(round(f * n)))) for f in fractions]
-        trace, total = _solve_with_restarts(solver, problem.b, compressor, points)
-        result.traces[label] = trace
-        result.restart_iterations[label] = points
-        result.total_iterations[label] = total
+    result = Fig9Result(baseline_iterations=0)
+    for cell, cell_result in zip(outcome.cells(), outcome.results()):
+        label = str(cell.param("label"))
+        result.baseline_iterations = int(cell_result["baseline_iterations"])
+        result.traces[label] = [
+            (int(it), float(res)) for it, res in cell_result["trace"]
+        ]
+        result.restart_iterations[label] = [
+            int(p) for p in cell_result["restart_iterations"]
+        ]
+        result.total_iterations[label] = int(cell_result["total_iterations"])
     return result
 
 

@@ -14,12 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import RunSpec
 from repro.core.scale import paper_scale
-from repro.experiments.characterize import measure_scheme_ratio, standard_schemes
-from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, method_problem, method_solver
+from repro.experiments.characterize import characterize_cells, standard_schemes
+from repro.experiments.config import ExperimentConfig, SMALL_CONFIG
 from repro.utils.tables import format_table
 
-__all__ = ["Table3Result", "run_table3", "table3_table"]
+__all__ = ["Table3Result", "table3_cells", "run_table3", "table3_table"]
 
 _MB = 1024.0**2
 
@@ -45,34 +47,49 @@ class Table3Result:
         return self.sizes_mb[(int(processes), method, scheme)]
 
 
+def table3_cells(
+    config: ExperimentConfig, *, methods: Sequence[str] = PAPER_METHODS
+) -> List[RunSpec]:
+    """The Table 3 campaign: one characterization per method x scheme."""
+    cells: List[RunSpec] = []
+    for method in methods:
+        cells.extend(characterize_cells(config, method, schemes=PAPER_SCHEMES))
+    return cells
+
+
 def run_table3(
     config: ExperimentConfig = SMALL_CONFIG,
     *,
     methods: Sequence[str] = PAPER_METHODS,
+    n_workers: int = 1,
+    cache=None,
 ) -> Table3Result:
     """Measure scheme ratios per method and model the per-process sizes."""
     result = Table3Result(
         process_counts=[int(p) for p in config.process_counts],
         methods=[str(m) for m in methods],
     )
-    characterizations = {}
-    for method in result.methods:
-        problem = method_problem(config, method)
-        solver = method_solver(config, method, problem)
-        for scheme in standard_schemes(config.error_bound, method=method):
-            char = measure_scheme_ratio(solver, problem.b, scheme, method=method)
-            characterizations[(method, scheme.name)] = (scheme, char)
-            result.ratios[(method, scheme.name)] = char.mean_ratio
+    outcome = run_campaign(
+        table3_cells(config, methods=methods), n_workers=n_workers, cache=cache
+    )
+    ratios: Dict[Tuple[str, str], float] = {}
+    for cell, cell_result in zip(outcome.cells(), outcome.results()):
+        ratios[(cell.method, cell.scheme)] = float(cell_result["mean_ratio"])
+    result.ratios.update(ratios)
 
+    # The per-scale sizes are pure model post-processing on the ratios: one
+    # (or two, for CG under exact schemes) full vectors divided by the ratio.
+    vector_counts = {
+        scheme.name: scheme for scheme in standard_schemes(config.error_bound)
+    }
     for processes in result.process_counts:
         scale = paper_scale(processes)
         result.grid_n[processes] = scale.grid_n
         for method in result.methods:
             for scheme_name in PAPER_SCHEMES:
-                scheme, char = characterizations[(method, scheme_name)]
-                vectors = scheme.dynamic_vector_count(method)
+                vectors = vector_counts[scheme_name].dynamic_vector_count(method)
                 per_process_bytes = (
-                    scale.vector_bytes * vectors / char.mean_ratio / processes
+                    scale.vector_bytes * vectors / ratios[(method, scheme_name)] / processes
                 )
                 result.sizes_mb[(processes, method, scheme_name)] = per_process_bytes / _MB
     return result

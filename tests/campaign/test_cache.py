@@ -1,0 +1,51 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import RunSpec
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cell = RunSpec(kind="model", params={"lam": 1e-4, "tckp": 30.0})
+        assert cache.get(cell) is None
+        cache.put(cell, {"overhead_fraction": 0.25})
+        assert cache.get(cell) == {"overhead_fraction": 0.25}
+        assert cell in cache
+        assert len(cache) == 1
+
+    def test_key_isolation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = RunSpec(kind="model", params={"lam": 1.0, "tckp": 1.0})
+        b = RunSpec(kind="model", params={"lam": 2.0, "tckp": 1.0})
+        cache.put(a, {"v": 1})
+        assert cache.get(b) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = RunSpec(kind="model", params={"lam": 1.0, "tckp": 1.0})
+        cache.put(cell, {"v": 1})
+        path = next(tmp_path.glob("*.json"))
+        path.write_text("{ not json")
+        assert cache.get(cell) is None
+        # The broken file was removed so a fresh put works.
+        cache.put(cell, {"v": 2})
+        assert cache.get(cell) == {"v": 2}
+
+    def test_entry_stores_spec_alongside_result(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = RunSpec(kind="characterize", method="cg", scheme="lossless")
+        cache.put(cell, {"mean_ratio": 1.3})
+        payload = json.loads(next(tmp_path.glob("*.json")).read_text())
+        assert payload["spec"] == cell.to_dict()
+        assert payload["result"] == {"mean_ratio": 1.3}
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for tckp in (1.0, 2.0, 3.0):
+            cache.put(RunSpec(kind="model", params={"lam": 1.0, "tckp": tckp}), {})
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0

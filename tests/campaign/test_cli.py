@@ -1,0 +1,62 @@
+"""CLI smoke tests for ``python -m repro.campaign``."""
+
+import json
+
+from repro.campaign.cli import PRESETS, demo_campaign, main
+from repro.campaign.spec import CampaignSpec, RunSpec
+
+
+class TestPresets:
+    def test_demo_campaign_has_at_least_24_cells(self):
+        assert len(demo_campaign()) >= 24
+
+    def test_all_presets_expand(self):
+        for name, factory in PRESETS.items():
+            spec = factory()
+            assert isinstance(spec, CampaignSpec)
+            assert len(spec.expand()) >= 1, name
+
+    def test_list_presets_exits_cleanly(self, capsys):
+        assert main(["--list-presets"]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+
+
+class TestMain:
+    def test_runs_spec_file_and_writes_json(self, tmp_path, capsys):
+        spec = CampaignSpec(
+            name="cli-model",
+            cells=tuple(
+                RunSpec(kind="model", params={"lam": 1e-4, "tckp": float(t)})
+                for t in (10.0, 20.0)
+            ),
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        out_path = tmp_path / "report.json"
+        code = main(
+            [
+                "--spec", str(spec_path),
+                "--cache-dir", str(tmp_path / "cache"),
+                "--json", str(out_path),
+                "--group-by", "kind",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "cli-model" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert len(payload["cells"]) == 2
+
+    def test_cached_rerun_executes_nothing(self, tmp_path, capsys):
+        spec = CampaignSpec(
+            name="cli-cache",
+            cells=(RunSpec(kind="model", params={"lam": 1e-4, "tckp": 5.0}),),
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        args = ["--spec", str(spec_path), "--cache-dir", str(tmp_path / "c"), "--quiet"]
+        main(args)
+        capsys.readouterr()
+        main(args)
+        assert "1 from cache" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Tests for CampaignSpec / RunSpec: grid expansion, determinism, round-trips."""
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, RunSpec
+
+
+class TestRunSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown cell kind"):
+            RunSpec(kind="nonsense")
+
+    def test_params_are_normalised_and_sorted(self):
+        a = RunSpec(params={"b": 2, "a": 1})
+        b = RunSpec(params=(("a", 1), ("b", 2)))
+        assert a == b
+        assert a.param("a") == 1
+        assert a.param("missing", 42) == 42
+
+    def test_list_params_become_tuples(self):
+        cell = RunSpec(params={"restart_fractions": [0.3, 0.65]})
+        assert cell.param("restart_fractions") == (0.3, 0.65)
+
+    def test_json_round_trip(self):
+        cell = RunSpec(
+            kind="ft",
+            method="cg",
+            scheme="lossy",
+            compressor="zfp",
+            error_bound=1e-5,
+            adaptive=True,
+            num_processes=1024,
+            mtti_seconds=None,
+            checkpoint_interval_seconds=123.0,
+            params={"trials": 7},
+        )
+        rebuilt = RunSpec.from_dict(cell.to_dict())
+        assert rebuilt == cell
+        assert rebuilt.cache_key() == cell.cache_key()
+
+    def test_cache_key_depends_on_spec(self):
+        base = RunSpec()
+        assert base.cache_key() == RunSpec().cache_key()
+        assert base.cache_key() != base.with_overrides(seed=1).cache_key()
+        assert base.cache_key() != base.with_overrides(scheme="lossless").cache_key()
+        assert (
+            base.cache_key()
+            != base.with_overrides(params={"trials": 3}).cache_key()
+        )
+
+
+class TestCampaignSpec:
+    def test_grid_expansion_size_and_len(self):
+        spec = CampaignSpec(
+            methods=("jacobi", "cg"),
+            schemes=("traditional", "lossy"),
+            error_bounds=(1e-4, 1e-6),
+            process_counts=(256, 2048),
+            repetitions=3,
+        )
+        cells = spec.expand()
+        assert len(cells) == 2 * 2 * 2 * 2 * 3
+        assert len(spec) == len(cells)
+        assert len({cell.cache_key() for cell in cells}) == len(cells)
+
+    def test_expansion_is_deterministic(self):
+        spec = CampaignSpec(methods=("jacobi",), schemes=("lossy",), repetitions=4)
+        assert spec.expand() == spec.expand()
+
+    def test_cells_carry_grid_coordinates(self):
+        spec = CampaignSpec(
+            methods=("gmres",),
+            schemes=("lossy",),
+            process_counts=(512,),
+            repetitions=2,
+            grid_n=9,
+            seed=7,
+        )
+        cells = spec.expand()
+        for rep, cell in enumerate(cells):
+            assert cell.method == "gmres"
+            assert cell.scheme == "lossy"
+            assert cell.adaptive  # lossy + gmres gets the Theorem-3 policy
+            assert cell.num_processes == 512
+            assert cell.repetition == rep
+            assert cell.grid_n == 9
+            assert cell.problem_seed == 7
+        # Distinct repetitions get distinct failure seeds.
+        assert cells[0].seed != cells[1].seed
+
+    def test_explicit_cells_override_grid(self):
+        explicit = (RunSpec(kind="model", params={"lam": 1e-4, "tckp": 10.0}),)
+        spec = CampaignSpec(methods=("jacobi", "cg"), repetitions=5, cells=explicit)
+        assert spec.expand() == list(explicit)
+        assert len(spec) == 1
+
+    def test_json_round_trip_with_cells(self):
+        spec = CampaignSpec(
+            name="rt",
+            methods=("jacobi",),
+            rtols=(("jacobi", 1e-5),),
+            cells=(RunSpec(kind="characterize"), RunSpec(kind="solve", method="kkt")),
+        )
+        rebuilt = CampaignSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.expand() == spec.expand()
+
+    def test_rtol_for(self):
+        spec = CampaignSpec(rtols=(("cg", 1e-9),))
+        assert spec.rtol_for("cg") == 1e-9
+        assert spec.rtol_for("jacobi") is None

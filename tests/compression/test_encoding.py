@@ -1,7 +1,6 @@
 """Tests for the low-level bit-packing encoders."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

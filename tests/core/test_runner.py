@@ -5,7 +5,7 @@ import pytest
 
 from repro.cluster.machine import ClusterModel
 from repro.core.runner import FaultTolerantRunner, run_failure_free
-from repro.core.scale import ExperimentScale, paper_scale
+from repro.core.scale import paper_scale
 from repro.core.schemes import CheckpointingScheme
 from repro.solvers import CGSolver, GMRESSolver, JacobiSolver
 

@@ -1,7 +1,6 @@
 """Tests for BiCGSTAB."""
 
 import numpy as np
-import pytest
 
 from repro.precond import JacobiPreconditioner
 from repro.solvers import BiCGStabSolver

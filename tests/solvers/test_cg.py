@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.precond import IncompleteCholeskyPreconditioner, JacobiPreconditioner
+from repro.precond import IncompleteCholeskyPreconditioner
 from repro.solvers import CGSolver
 from repro.sparse.matrices import random_spd
 

@@ -1,7 +1,6 @@
 """Cross-module integration tests: the full lossy-checkpointing pipeline."""
 
 import numpy as np
-import pytest
 
 from repro.checkpoint import CheckpointManager, VariableRole
 from repro.cluster import ClusterModel, FailureInjector
