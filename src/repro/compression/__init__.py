@@ -22,6 +22,14 @@ from repro.compression.base import (
     make_compressor,
     available_compressors,
 )
+from repro.compression.codec import (
+    FORMAT_VERSION,
+    CodecFormatError,
+    decode_frame,
+    decode_signed,
+    encode_frame,
+    encode_signed,
+)
 from repro.compression.errorbounds import ErrorBound, ErrorBoundMode
 from repro.compression.identity import IdentityCompressor
 from repro.compression.lossless import ZlibCompressor, LzmaCompressor
@@ -44,6 +52,12 @@ __all__ = [
     "register_compressor",
     "make_compressor",
     "available_compressors",
+    "FORMAT_VERSION",
+    "CodecFormatError",
+    "encode_signed",
+    "decode_signed",
+    "encode_frame",
+    "decode_frame",
     "ErrorBound",
     "ErrorBoundMode",
     "IdentityCompressor",

@@ -12,7 +12,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,6 +52,16 @@ class CompressedBlob:
     def nbytes(self) -> int:
         """Size of the compressed payload in bytes (metadata excluded)."""
         return len(self.payload)
+
+    @property
+    def format_version(self) -> int:
+        """Payload format version (0 = legacy, pre-block-codec payloads).
+
+        Compressors stamp ``meta["format_version"]`` when they encode with
+        the versioned block codec (:mod:`repro.compression.codec`); payloads
+        without the key predate it and decode through the legacy paths.
+        """
+        return int(self.meta.get("format_version", 0))
 
     @property
     def original_nbytes(self) -> int:
@@ -102,20 +112,36 @@ class Compressor(abc.ABC):
 
     def __init__(self) -> None:
         self.records: List[CompressionRecord] = []
+        #: Record of the most recent compress/decompress call on this
+        #: instance.  Prefer :meth:`compress_with_record` when the instance
+        #: may be shared (several managers, ``with_error_bound`` swaps):
+        #: the returned record is attributed to *that* call unambiguously.
+        self.last_record: Optional[CompressionRecord] = None
 
     # -- public API --------------------------------------------------------
     def compress(self, data: np.ndarray) -> CompressedBlob:
         """Compress ``data`` (any-dimensional float/int array) to a blob."""
+        return self.compress_with_record(data)[0]
+
+    def compress_with_record(
+        self, data: np.ndarray
+    ) -> Tuple[CompressedBlob, CompressionRecord]:
+        """Compress ``data`` and return the blob with this call's record.
+
+        Unlike reading ``records[-1]`` after :meth:`compress`, the returned
+        record cannot be mis-attributed when the compressor instance is
+        shared between callers.
+        """
         arr = np.ascontiguousarray(data)
         if arr.size == 0:
             raise ValueError("cannot compress an empty array")
         start = time.perf_counter()
         blob = self._compress_array(arr)
         elapsed = time.perf_counter() - start
-        self.records.append(
-            CompressionRecord("compress", arr.nbytes, blob.nbytes, elapsed)
-        )
-        return blob
+        record = CompressionRecord("compress", arr.nbytes, blob.nbytes, elapsed)
+        self.records.append(record)
+        self.last_record = record
+        return blob, record
 
     def decompress(self, blob: CompressedBlob) -> np.ndarray:
         """Reconstruct the array stored in ``blob``."""
@@ -126,9 +152,9 @@ class Compressor(abc.ABC):
         start = time.perf_counter()
         arr = self._decompress_array(blob)
         elapsed = time.perf_counter() - start
-        self.records.append(
-            CompressionRecord("decompress", arr.nbytes, blob.nbytes, elapsed)
-        )
+        record = CompressionRecord("decompress", arr.nbytes, blob.nbytes, elapsed)
+        self.records.append(record)
+        self.last_record = record
         return arr
 
     def roundtrip(self, data: np.ndarray) -> Tuple[np.ndarray, CompressedBlob]:
@@ -145,6 +171,7 @@ class Compressor(abc.ABC):
     def reset_records(self) -> None:
         """Clear accumulated timing records."""
         self.records.clear()
+        self.last_record = None
 
     # -- subclass hooks ------------------------------------------------------
     @abc.abstractmethod

@@ -1,12 +1,17 @@
 """Low-level integer/byte encoders shared by the lossy compressors.
 
-The SZ-like and ZFP-like compressors both end with a stream of small signed
-integer quantization codes plus a sparse set of "unpredictable" raw values.
 These helpers implement the bit-level plumbing:
 
 * zigzag mapping (signed -> unsigned so small magnitudes get small codes),
-* fixed-width bit packing at the minimum width that fits the block,
+* fixed-width bit packing at one global minimum width for the whole stream,
 * a simple frame format for concatenating heterogeneous sections.
+
+The zigzag and section helpers remain the building blocks of the versioned
+block codec (:mod:`repro.compression.codec`).  :func:`pack_unsigned` /
+:func:`unpack_unsigned` are the *legacy* (format version 0) whole-stream
+encoder: one global bit width means a single outlier code inflates every
+element, which is why new payloads use the codec's per-block widths plus
+escape channel instead.  They are kept so pre-codec checkpoints decode.
 
 Everything is vectorised NumPy (no per-element Python loops) following the
 HPC-Python guidance used for this project.

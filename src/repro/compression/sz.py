@@ -12,7 +12,15 @@ vectorised formulation (see :mod:`repro.compression.quantization`):
 2. quantize all values onto the global error-bounded integer grid,
 3. apply a first-order ("lorenzo") or second-order ("linear") integer
    predictor — ``np.diff`` of the codes — so smooth data produces tiny codes,
-4. zigzag-encode, bit-pack at minimal width, and DEFLATE the result.
+4. encode the residual codes with the versioned block codec
+   (:mod:`repro.compression.codec`): per-block minimal bit widths, an escape
+   channel for outlier codes (SZ's "unpredictable values"), and exactly one
+   DEFLATE pass over the whole frame.
+
+Payloads carry ``format_version`` in their metadata; payloads written before
+the block codec (no ``format_version`` key) still decode through the legacy
+paths (global-width bit packing, and a nested DEFLATE stream inside the
+pointwise-relative frame).
 
 The compressor guarantees the requested error bound for every element; if the
 bound is unachievable with 63-bit integer codes it falls back to lossless
@@ -22,17 +30,22 @@ storage of the raw bytes (still satisfying the bound trivially).
 from __future__ import annotations
 
 import zlib
+from typing import List
 
 import numpy as np
 
 from repro.compression.base import CompressedBlob, Compressor, register_compressor
+from repro.compression.codec import (
+    FORMAT_VERSION,
+    decode_frame,
+    decode_signed,
+    encode_frame,
+    encode_signed,
+)
 from repro.compression.encoding import (
-    pack_sections,
-    pack_unsigned,
     unpack_sections,
     unpack_unsigned,
     zigzag_decode,
-    zigzag_encode,
 )
 from repro.compression.errorbounds import ErrorBound, ErrorBoundMode
 from repro.compression.quantization import (
@@ -41,7 +54,11 @@ from repro.compression.quantization import (
     dequantize_absolute,
     quantize_absolute,
 )
-from repro.compression.relative import PointwiseRelativeTransform
+from repro.compression.relative import (
+    PointwiseRelativeTransform,
+    pw_rel_sections,
+    reconstruct_from_masks,
+)
 
 __all__ = ["SZCompressor"]
 
@@ -82,7 +99,7 @@ class SZCompressor(Compressor):
         (second-order differencing), mirroring SZ's preceding-neighbour and
         linear-fit predictors.
     zlib_level:
-        DEFLATE effort for the final entropy stage.
+        DEFLATE effort for the (single) entropy stage.
     """
 
     name = "sz"
@@ -124,6 +141,7 @@ class SZCompressor(Compressor):
         meta = {
             "error_bound": self.error_bound.describe(),
             "predictor": self.predictor,
+            "format_version": FORMAT_VERSION,
         }
 
         if self.error_bound.mode is ErrorBoundMode.POINTWISE_RELATIVE:
@@ -143,26 +161,32 @@ class SZCompressor(Compressor):
         scheme = blob.meta.get("scheme", "abs")
         if scheme == "raw":
             flat = np.frombuffer(zlib.decompress(blob.payload), dtype=np.float64).copy()
+        elif blob.format_version >= 1:
+            sections = decode_frame(blob.payload)
+            if scheme == "pw_rel":
+                flat = self._decode_pointwise_relative_sections(sections)
+            else:
+                quantized = self._decode_quantized_sections(sections)
+                flat = dequantize_absolute(quantized)
         elif scheme == "pw_rel":
-            flat = self._decompress_pointwise_relative(blob.payload)
+            flat = self._legacy_decompress_pointwise_relative(blob.payload)
         else:
-            flat = self._decompress_absolute_like(blob.payload)
+            flat = self._legacy_decompress_absolute_like(blob.payload)
         return flat.astype(np.dtype(blob.dtype), copy=False).reshape(blob.shape)
 
     # -- absolute / value-range relative -------------------------------
     def _compress_absolute_like(self, flat: np.ndarray) -> "tuple[bytes, str]":
         bound = self.error_bound.absolute_for(flat)
+        if bound <= 0.0:  # resolved bound underflowed (denormal-scale data)
+            return self._raw_fallback(flat), "raw"
         try:
             quantized = quantize_absolute(flat, bound)
         except QuantizationOverflow:
             return self._raw_fallback(flat), "raw"
-        order = 1 if self.predictor == "lorenzo" else 2
-        payload = self._encode_quantized(quantized, order)
+        payload = encode_frame(
+            self._quantized_sections(quantized), level=self.zlib_level
+        )
         return payload, "abs"
-
-    def _decompress_absolute_like(self, payload: bytes) -> np.ndarray:
-        quantized, _ = self._decode_quantized(payload)
-        return dequantize_absolute(quantized)
 
     # -- pointwise relative ---------------------------------------------
     def _compress_pointwise_relative(self, flat: np.ndarray) -> "tuple[bytes, str]":
@@ -171,49 +195,60 @@ class SZCompressor(Compressor):
             quantized = quantize_absolute(transform.log_values, transform.log_bound)
         except QuantizationOverflow:
             return self._raw_fallback(flat), "raw"
-        order = 1 if self.predictor == "lorenzo" else 2
-        log_section = self._encode_quantized(quantized, order)
-        neg_section = np.packbits(transform.negative_mask.astype(np.uint8)).tobytes()
-        zero_section = np.packbits(transform.zero_mask.astype(np.uint8)).tobytes()
-        count_section = np.asarray([flat.size], dtype=np.int64).tobytes()
-        frame = pack_sections([count_section, log_section, neg_section, zero_section])
-        return zlib.compress(frame, self.zlib_level), "pw_rel"
+        sections = pw_rel_sections(
+            transform, self._quantized_sections(quantized), flat.size
+        )
+        return encode_frame(sections, level=self.zlib_level), "pw_rel"
 
-    def _decompress_pointwise_relative(self, payload: bytes) -> np.ndarray:
+    def _decode_pointwise_relative_sections(self, sections: List[bytes]) -> np.ndarray:
+        count_section, header, order_section, packed, neg_section, zero_section = sections
+        count = int(np.frombuffer(count_section, dtype=np.int64)[0])
+        quantized = self._decode_quantized_sections([header, order_section, packed])
+        log_recon = dequantize_absolute(quantized)
+        return reconstruct_from_masks(log_recon, neg_section, zero_section, count)
+
+    # -- v1 code-stream helpers -----------------------------------------
+    def _quantized_sections(self, quantized: QuantizedArray) -> List[bytes]:
+        order = 1 if self.predictor == "lorenzo" else 2
+        residuals = _predict_codes(quantized.codes, order)
+        return [
+            np.asarray([quantized.quantum], dtype=np.float64).tobytes(),
+            np.asarray([order], dtype=np.int64).tobytes(),
+            encode_signed(residuals),
+        ]
+
+    def _decode_quantized_sections(self, sections: List[bytes]) -> QuantizedArray:
+        header, order_section, packed = sections
+        quantum = float(np.frombuffer(header, dtype=np.float64)[0])
+        order = int(np.frombuffer(order_section, dtype=np.int64)[0])
+        codes = _unpredict_codes(decode_signed(packed), order)
+        return QuantizedArray(codes=codes, quantum=quantum)
+
+    def _raw_fallback(self, flat: np.ndarray) -> bytes:
+        return zlib.compress(flat.astype(np.float64).tobytes(), self.zlib_level)
+
+    # -- legacy (format version 0) decode paths --------------------------
+    # Payloads written before the block codec: global-width bit packing via
+    # encoding.pack_unsigned, and a *nested* DEFLATE stream inside the
+    # pointwise-relative frame.  Kept so old checkpoints remain readable.
+    def _legacy_decompress_absolute_like(self, payload: bytes) -> np.ndarray:
+        quantized, _ = self._legacy_decode_quantized(payload)
+        return dequantize_absolute(quantized)
+
+    def _legacy_decompress_pointwise_relative(self, payload: bytes) -> np.ndarray:
         frame = zlib.decompress(payload)
         count_section, log_section, neg_section, zero_section = unpack_sections(frame)
         count = int(np.frombuffer(count_section, dtype=np.int64)[0])
-        quantized, _ = self._decode_quantized(log_section, precompressed=True)
+        quantized, _ = self._legacy_decode_quantized(log_section, precompressed=True)
         log_recon = dequantize_absolute(quantized)
-        negative_mask = np.unpackbits(
-            np.frombuffer(neg_section, dtype=np.uint8), count=count
-        ).astype(bool)
-        zero_mask = np.unpackbits(
-            np.frombuffer(zero_section, dtype=np.uint8), count=count
-        ).astype(bool)
-        transform = PointwiseRelativeTransform(
-            log_values=np.empty(int((~zero_mask).sum()), dtype=np.float64),
-            negative_mask=negative_mask,
-            zero_mask=zero_mask,
-            log_bound=0.0,
-        )
-        return transform.backward(log_recon)
+        return reconstruct_from_masks(log_recon, neg_section, zero_section, count)
 
-    # -- shared encoding helpers -----------------------------------------
-    def _encode_quantized(self, quantized: QuantizedArray, order: int) -> bytes:
-        residuals = _predict_codes(quantized.codes, order)
-        packed = pack_unsigned(zigzag_encode(residuals))
-        header = np.asarray([quantized.quantum], dtype=np.float64).tobytes()
-        order_bytes = np.asarray([order], dtype=np.int64).tobytes()
-        frame = pack_sections([header, order_bytes, packed])
-        return zlib.compress(frame, self.zlib_level)
-
-    def _decode_quantized(
+    def _legacy_decode_quantized(
         self, payload: bytes, *, precompressed: bool = False
     ) -> "tuple[QuantizedArray, int]":
         frame = payload if precompressed else zlib.decompress(payload)
-        # When nested inside the pw_rel frame the inner section is itself a
-        # zlib stream produced by _encode_quantized.
+        # When nested inside the legacy pw_rel frame the inner section is
+        # itself a zlib stream.
         if precompressed:
             frame = zlib.decompress(frame)
         header, order_bytes, packed = unpack_sections(frame)
@@ -223,9 +258,6 @@ class SZCompressor(Compressor):
         residuals = zigzag_decode(codes_unsigned)
         codes = _unpredict_codes(residuals, order)
         return QuantizedArray(codes=codes, quantum=quantum), order
-
-    def _raw_fallback(self, flat: np.ndarray) -> bytes:
-        return zlib.compress(flat.astype(np.float64).tobytes(), self.zlib_level)
 
 
 def _make_sz(**kwargs) -> SZCompressor:

@@ -10,33 +10,47 @@ planes.  This reproduction keeps the same structure at reduced complexity:
    maps to reconstruction error with a known ``sqrt(block)`` factor),
 3. quantize coefficients with an error-bounded step chosen so the
    *reconstruction* error respects the requested absolute bound,
-4. zigzag + bit-pack + DEFLATE the coefficient codes.
+4. encode the coefficient codes with the versioned block codec
+   (:mod:`repro.compression.codec`): per-block minimal bit widths, an
+   outlier escape channel, and exactly one DEFLATE pass per payload.
 
 Pointwise-relative bounds are supported through the same logarithmic
 transform the SZ-like compressor uses, so the checkpointing layer can swap
 SZ-like and ZFP-like compressors freely (the compressor-family ablation in
-``benchmarks/test_bench_ablation_compressors.py``).
+``benchmarks/test_bench_ablation_compressors.py``).  Payloads carry
+``format_version`` in their metadata; legacy payloads (no ``format_version``)
+decode through the pre-codec paths, including the old nested-DEFLATE
+pointwise-relative frame.
 """
 
 from __future__ import annotations
 
 import zlib
+from typing import List, Optional
 
 import numpy as np
 from scipy.fft import dct, idct
 
 from repro.compression.base import CompressedBlob, Compressor, register_compressor
+from repro.compression.codec import (
+    FORMAT_VERSION,
+    decode_frame,
+    decode_signed,
+    encode_frame,
+    encode_signed,
+)
 from repro.compression.encoding import (
-    pack_sections,
-    pack_unsigned,
     unpack_sections,
     unpack_unsigned,
     zigzag_decode,
-    zigzag_encode,
 )
 from repro.compression.errorbounds import ErrorBound, ErrorBoundMode
 from repro.compression.quantization import QuantizationOverflow, quantize_absolute
-from repro.compression.relative import PointwiseRelativeTransform
+from repro.compression.relative import (
+    PointwiseRelativeTransform,
+    pw_rel_sections,
+    reconstruct_from_masks,
+)
 
 __all__ = ["ZFPCompressor"]
 
@@ -52,7 +66,7 @@ class ZFPCompressor(Compressor):
     block_size:
         Number of values per transform block (default 64 = 4x4x4).
     zlib_level:
-        DEFLATE effort for the entropy stage.
+        DEFLATE effort for the (single) entropy stage.
     """
 
     name = "zfp"
@@ -84,27 +98,30 @@ class ZFPCompressor(Compressor):
     # ------------------------------------------------------------------
     def _compress_array(self, data: np.ndarray) -> CompressedBlob:
         flat = np.ascontiguousarray(data, dtype=np.float64).reshape(-1)
-        meta = {"error_bound": self.error_bound.describe(), "block_size": self.block_size}
+        meta = {
+            "error_bound": self.error_bound.describe(),
+            "block_size": self.block_size,
+            "format_version": FORMAT_VERSION,
+        }
         if self.error_bound.mode is ErrorBoundMode.POINTWISE_RELATIVE:
             transform = PointwiseRelativeTransform.forward(flat, self.error_bound.value)
-            inner, scheme = self._compress_values(transform.log_values, transform.log_bound)
-            if scheme == "raw":
+            inner = self._transform_sections(transform.log_values, transform.log_bound)
+            if inner is None:
                 payload = self._raw_fallback(flat)
                 meta["scheme"] = "raw"
             else:
-                neg = np.packbits(transform.negative_mask.astype(np.uint8)).tobytes()
-                zero = np.packbits(transform.zero_mask.astype(np.uint8)).tobytes()
-                count = np.asarray([flat.size], dtype=np.int64).tobytes()
-                payload = zlib.compress(
-                    pack_sections([count, inner, neg, zero]), self.zlib_level
-                )
+                sections = pw_rel_sections(transform, inner, flat.size)
+                payload = encode_frame(sections, level=self.zlib_level)
                 meta["scheme"] = "pw_rel"
         else:
             bound = self.error_bound.absolute_for(flat)
-            payload, scheme = self._compress_values(flat, bound)
-            if scheme == "raw":
+            sections = self._transform_sections(flat, bound)
+            if sections is None:
                 payload = self._raw_fallback(flat)
-            meta["scheme"] = scheme
+                meta["scheme"] = "raw"
+            else:
+                payload = encode_frame(sections, level=self.zlib_level)
+                meta["scheme"] = "zfp"
         return CompressedBlob(
             payload=payload,
             shape=tuple(data.shape),
@@ -117,30 +134,31 @@ class ZFPCompressor(Compressor):
         scheme = blob.meta.get("scheme", "abs")
         if scheme == "raw":
             flat = np.frombuffer(zlib.decompress(blob.payload), dtype=np.float64).copy()
+        elif blob.format_version >= 1:
+            sections = decode_frame(blob.payload)
+            if scheme == "pw_rel":
+                count = int(np.frombuffer(sections[0], dtype=np.int64)[0])
+                log_recon = self._decode_transform_sections(sections[1:4])
+                flat = reconstruct_from_masks(log_recon, sections[4], sections[5], count)
+            else:
+                flat = self._decode_transform_sections(sections)
         elif scheme == "pw_rel":
             frame = zlib.decompress(blob.payload)
             count_b, inner, neg_b, zero_b = unpack_sections(frame)
             count = int(np.frombuffer(count_b, dtype=np.int64)[0])
-            log_recon = self._decompress_values(inner)
-            negative_mask = np.unpackbits(
-                np.frombuffer(neg_b, dtype=np.uint8), count=count
-            ).astype(bool)
-            zero_mask = np.unpackbits(
-                np.frombuffer(zero_b, dtype=np.uint8), count=count
-            ).astype(bool)
-            transform = PointwiseRelativeTransform(
-                log_values=np.empty(int((~zero_mask).sum()), dtype=np.float64),
-                negative_mask=negative_mask,
-                zero_mask=zero_mask,
-                log_bound=0.0,
-            )
-            flat = transform.backward(log_recon)
+            log_recon = self._legacy_decompress_values(inner)
+            flat = reconstruct_from_masks(log_recon, neg_b, zero_b, count)
         else:
-            flat = self._decompress_values(zlib.decompress(blob.payload), precompressed=True)
+            flat = self._legacy_decompress_values(
+                zlib.decompress(blob.payload), precompressed=True
+            )
         return flat.astype(np.dtype(blob.dtype), copy=False).reshape(blob.shape)
 
     # -- block transform core -------------------------------------------
-    def _compress_values(self, values: np.ndarray, bound: float) -> "tuple[bytes, str]":
+    def _transform_sections(
+        self, values: np.ndarray, bound: float
+    ) -> Optional[List[bytes]]:
+        """DCT + quantize ``values``; None when the bound needs raw fallback."""
         n = values.size
         block = self.block_size
         pad = (-n) % block
@@ -151,19 +169,34 @@ class ZFPCompressor(Compressor):
         # l-2 (hence l-inf) reconstruction error of at most sqrt(block)*eps,
         # so quantize with bound / sqrt(block).
         coeff_bound = bound / np.sqrt(block)
+        if coeff_bound <= 0.0:  # resolved bound underflowed (denormal-scale data)
+            return None
         try:
             quantized = quantize_absolute(coeffs.reshape(-1), coeff_bound)
         except QuantizationOverflow:
-            return b"", "raw"
-        packed = pack_unsigned(zigzag_encode(quantized.codes))
-        header = np.asarray([quantized.quantum], dtype=np.float64).tobytes()
-        sizes = np.asarray([n, block], dtype=np.int64).tobytes()
-        frame = pack_sections([header, sizes, packed])
-        return zlib.compress(frame, self.zlib_level), "zfp"
+            return None
+        return [
+            np.asarray([quantized.quantum], dtype=np.float64).tobytes(),
+            np.asarray([n, block], dtype=np.int64).tobytes(),
+            encode_signed(quantized.codes),
+        ]
 
-    def _decompress_values(self, payload: bytes, *, precompressed: bool = False) -> np.ndarray:
-        # The abs path hands us the already-decompressed zlib frame
-        # (precompressed=True); the pw_rel path hands the raw zlib stream.
+    def _decode_transform_sections(self, sections: List[bytes]) -> np.ndarray:
+        header, sizes, packed = sections
+        quantum = float(np.frombuffer(header, dtype=np.float64)[0])
+        n, block = (int(v) for v in np.frombuffer(sizes, dtype=np.int64))
+        codes = decode_signed(packed)
+        coeffs = codes.astype(np.float64).reshape(-1, block) * quantum
+        values = idct(coeffs, axis=1, norm="ortho").reshape(-1)
+        return values[:n]
+
+    # -- legacy (format version 0) decode path ---------------------------
+    def _legacy_decompress_values(
+        self, payload: bytes, *, precompressed: bool = False
+    ) -> np.ndarray:
+        # The legacy abs path hands us the already-decompressed zlib frame
+        # (precompressed=True); the legacy pw_rel path hands the raw *nested*
+        # zlib stream its frame carried as a section.
         frame = payload if precompressed else zlib.decompress(payload)
         header, sizes, packed = unpack_sections(frame)
         quantum = float(np.frombuffer(header, dtype=np.float64)[0])

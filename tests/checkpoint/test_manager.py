@@ -6,6 +6,8 @@ import pytest
 from repro.checkpoint.manager import CheckpointManager
 from repro.checkpoint.store import FileCheckpointStore
 from repro.checkpoint.variables import VariableRole
+from repro.compression.base import CompressionRecord
+from repro.compression.identity import IdentityCompressor
 from repro.compression.lossless import ZlibCompressor
 from repro.compression.sz import SZCompressor
 
@@ -93,6 +95,43 @@ class TestSnapshotRestore:
         assert mgr.has_checkpoint()
         assert mgr.latest_record() is not None
         assert mgr.mean_compression_ratio() > 1.0
+
+
+class _SharedCompressor(IdentityCompressor):
+    """Simulates an instance shared with another manager: every compress is
+    immediately followed by a foreign record landing in ``records``, so
+    ``records[-1]`` no longer belongs to the caller's own call."""
+
+    def compress_with_record(self, data):
+        blob, record = super().compress_with_record(data)
+        self.records.append(CompressionRecord("compress", 1, 1, 999.0))
+        return blob, record
+
+
+class TestTimingAttribution:
+    def test_compress_with_record_returns_per_call_record(self, smooth_vector):
+        comp = SZCompressor(1e-4)
+        blob_a, rec_a = comp.compress_with_record(smooth_vector)
+        blob_b, rec_b = comp.compress_with_record(smooth_vector[: 100])
+        assert rec_a is not rec_b
+        assert rec_a.compressed_bytes == len(blob_a.payload)
+        assert rec_b.compressed_bytes == len(blob_b.payload)
+        assert rec_a.original_bytes == smooth_vector.nbytes
+        assert comp.last_record is rec_b
+
+    def test_snapshot_uses_per_call_record_not_records_tail(self, solver_like_state):
+        # Regression: snapshot read compressor.records[-1].seconds, which
+        # mis-attributes timing when the compressor instance is shared.
+        mgr = _manager_for(solver_like_state, _SharedCompressor())
+        record = mgr.snapshot(iteration=1)
+        assert record.compress_seconds < 999.0
+
+    def test_reset_records_clears_last_record(self, smooth_vector):
+        comp = ZlibCompressor()
+        comp.compress(smooth_vector)
+        assert comp.last_record is not None
+        comp.reset_records()
+        assert comp.last_record is None
 
 
 class TestStaticVariables:

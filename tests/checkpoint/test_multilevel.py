@@ -1,12 +1,15 @@
 """Tests for the FTI-style multilevel checkpoint store."""
 
+import numpy as np
 import pytest
 
+from repro.checkpoint.manager import CheckpointManager
 from repro.checkpoint.multilevel import (
     CheckpointLevel,
     MultilevelCheckpointStore,
     MultilevelPolicy,
 )
+from repro.checkpoint.variables import VariableRole
 
 
 class TestMultilevelPolicy:
@@ -83,3 +86,58 @@ class TestMultilevelStore:
     def test_no_checkpoints_returns_none(self):
         store = MultilevelCheckpointStore(seed=0)
         assert store.surviving_id() is None
+
+
+_CYCLE = [CheckpointLevel.LOCAL, CheckpointLevel.PARTNER, CheckpointLevel.PFS]
+
+
+class TestDynamicOnlyCycle:
+    """The policy cycle must be keyed on new dynamic checkpoints only.
+
+    Regression: ``write`` used to advance the cycle for *every* write —
+    including the static checkpoint (id ``-1``) and overwrites — so a
+    ``snapshot_static()`` call silently shifted the level of every later
+    dynamic checkpoint.
+    """
+
+    def test_static_writes_do_not_shift_cycle(self):
+        store = MultilevelCheckpointStore(MultilevelPolicy(cycle=list(_CYCLE)), seed=0)
+        store.write(-1, b"static")
+        store.write(0, b"a")
+        store.write(-1, b"static again")
+        store.write(1, b"b")
+        store.write(2, b"c")
+        assert [store.level_of(i) for i in (0, 1, 2)] == _CYCLE
+
+    def test_static_checkpoint_pinned_to_pfs(self):
+        store = MultilevelCheckpointStore(MultilevelPolicy(cycle=list(_CYCLE)), seed=0)
+        store.write(-1, b"static")
+        assert store.level_of(-1) is CheckpointLevel.PFS
+
+    def test_overwrite_keeps_level_and_cycle_position(self):
+        store = MultilevelCheckpointStore(MultilevelPolicy(cycle=list(_CYCLE)), seed=0)
+        store.write(0, b"a")
+        store.write(0, b"a v2")
+        store.write(1, b"b")
+        assert store.level_of(0) is CheckpointLevel.LOCAL
+        assert store.level_of(1) is CheckpointLevel.PARTNER
+
+    def test_interleaved_snapshots_keep_level_sequence(self):
+        """Pin via the manager: snapshot_static() between snapshots is inert."""
+        store = MultilevelCheckpointStore(MultilevelPolicy(cycle=list(_CYCLE)), seed=0)
+        state = {"x": np.linspace(1.0, 2.0, 256), "A": np.eye(4)}
+        mgr = CheckpointManager(store=store, keep_last=10)
+        mgr.protect("x", VariableRole.DYNAMIC, lambda: state["x"],
+                    lambda v: state.__setitem__("x", v))
+        mgr.protect("A", VariableRole.STATIC, lambda: state["A"],
+                    lambda v: state.__setitem__("A", v))
+        mgr.snapshot_static()
+        mgr.snapshot(iteration=0)
+        mgr.snapshot_static()  # re-write static mid-run: must not drift levels
+        mgr.snapshot(iteration=1)
+        mgr.snapshot(iteration=2)
+        mgr.snapshot_static()
+        mgr.snapshot(iteration=3)
+        levels = [store.level_of(i) for i in (0, 1, 2, 3)]
+        assert levels == _CYCLE + [_CYCLE[0]]
+        assert store.level_of(-1) is CheckpointLevel.PFS

@@ -1,0 +1,189 @@
+"""Payload-format regression tests.
+
+Two format guarantees are pinned here:
+
+1. **No nested DEFLATE.**  The pre-codec SZ/ZFP pointwise-relative paths
+   DEFLATEd an already-DEFLATEd inner section — wasted CPU, worse ratio.
+   v1 payloads must contain exactly one entropy stage: the frame body
+   inflates once and none of the inner sections is itself a zlib stream.
+
+2. **Legacy payloads still decode.**  Blobs without ``format_version`` in
+   their metadata predate the block codec; the compressors must route them
+   through the legacy decode paths (global-width packing, nested DEFLATE).
+   The legacy encoders are reconstructed here, independently of the source
+   tree, so the on-disk format stays pinned even though no production code
+   writes it anymore.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.compression.base import CompressedBlob
+from repro.compression.codec import decode_frame
+from repro.compression.encoding import pack_sections, pack_unsigned, zigzag_encode
+from repro.compression.errorbounds import ErrorBound
+from repro.compression.metrics import max_abs_error, max_pointwise_relative_error
+from repro.compression.quantization import quantize_absolute
+from repro.compression.relative import PointwiseRelativeTransform
+from repro.compression.sz import SZCompressor, _predict_codes
+from repro.compression.zfp import ZFPCompressor
+
+from scipy.fft import dct
+
+
+def _assert_sections_not_deflate(sections):
+    for index, section in enumerate(sections):
+        if len(section) < 8:
+            continue
+        with pytest.raises(zlib.error):
+            zlib.decompress(section)
+            pytest.fail(f"section {index} is a nested zlib stream")
+
+
+class TestNoNestedDeflate:
+    @pytest.mark.parametrize("predictor", ["lorenzo", "linear"])
+    def test_sz_pw_rel_single_entropy_stage(self, smooth_vector, predictor):
+        blob = SZCompressor(1e-4, predictor=predictor).compress(smooth_vector)
+        assert blob.meta["scheme"] == "pw_rel"
+        _assert_sections_not_deflate(decode_frame(blob.payload))
+
+    def test_sz_abs_single_entropy_stage(self, smooth_vector):
+        blob = SZCompressor(ErrorBound.absolute(1e-5)).compress(smooth_vector)
+        assert blob.meta["scheme"] == "abs"
+        _assert_sections_not_deflate(decode_frame(blob.payload))
+
+    def test_zfp_pw_rel_single_entropy_stage(self, smooth_vector):
+        blob = ZFPCompressor(1e-4).compress(smooth_vector)
+        assert blob.meta["scheme"] == "pw_rel"
+        _assert_sections_not_deflate(decode_frame(blob.payload))
+
+    def test_zfp_abs_single_entropy_stage(self, smooth_vector):
+        blob = ZFPCompressor(ErrorBound.absolute(1e-5)).compress(smooth_vector)
+        assert blob.meta["scheme"] == "zfp"
+        _assert_sections_not_deflate(decode_frame(blob.payload))
+
+    def test_pw_rel_payload_shrinks_vs_legacy(self, smooth_vector):
+        # Dropping the nested DEFLATE (plus blockwise widths) must not cost
+        # ratio on the bread-and-butter workload.
+        new = SZCompressor(1e-4).compress(smooth_vector)
+        legacy = _legacy_sz_pw_rel_blob(smooth_vector, 1e-4)
+        assert new.nbytes <= legacy.nbytes * 1.02
+
+
+# ----------------------------------------------------------------------
+# legacy (format version 0) payload builders — mirror the old encoders
+# ----------------------------------------------------------------------
+def _legacy_quantized_section(values, bound, order, level=6):
+    quantized = quantize_absolute(values, bound)
+    residuals = _predict_codes(quantized.codes, order)
+    packed = pack_unsigned(zigzag_encode(residuals))
+    header = np.asarray([quantized.quantum], dtype=np.float64).tobytes()
+    order_bytes = np.asarray([order], dtype=np.int64).tobytes()
+    return zlib.compress(pack_sections([header, order_bytes, packed]), level)
+
+
+def _legacy_sz_abs_blob(data, bound, predictor="lorenzo"):
+    flat = np.asarray(data, dtype=np.float64).reshape(-1)
+    order = 1 if predictor == "lorenzo" else 2
+    payload = _legacy_quantized_section(flat, bound, order)
+    return CompressedBlob(
+        payload=payload,
+        shape=np.asarray(data).shape,
+        dtype=np.asarray(data).dtype.str,
+        compressor="sz",
+        meta={"error_bound": f"abs={bound:g}", "predictor": predictor, "scheme": "abs"},
+    )
+
+
+def _legacy_sz_pw_rel_blob(data, eb, predictor="lorenzo"):
+    flat = np.asarray(data, dtype=np.float64).reshape(-1)
+    transform = PointwiseRelativeTransform.forward(flat, eb)
+    order = 1 if predictor == "lorenzo" else 2
+    log_section = _legacy_quantized_section(transform.log_values, transform.log_bound, order)
+    neg = np.packbits(transform.negative_mask.astype(np.uint8)).tobytes()
+    zero = np.packbits(transform.zero_mask.astype(np.uint8)).tobytes()
+    count = np.asarray([flat.size], dtype=np.int64).tobytes()
+    payload = zlib.compress(pack_sections([count, log_section, neg, zero]), 6)
+    return CompressedBlob(
+        payload=payload,
+        shape=np.asarray(data).shape,
+        dtype=np.asarray(data).dtype.str,
+        compressor="sz",
+        meta={"error_bound": f"pw_rel={eb:g}", "predictor": predictor, "scheme": "pw_rel"},
+    )
+
+
+def _legacy_zfp_values_section(values, bound, block, level=6):
+    n = values.size
+    pad = (-n) % block
+    padded = np.pad(values, (0, pad), mode="edge") if pad else values
+    coeffs = dct(padded.reshape(-1, block), axis=1, norm="ortho")
+    quantized = quantize_absolute(coeffs.reshape(-1), bound / np.sqrt(block))
+    packed = pack_unsigned(zigzag_encode(quantized.codes))
+    header = np.asarray([quantized.quantum], dtype=np.float64).tobytes()
+    sizes = np.asarray([n, block], dtype=np.int64).tobytes()
+    return zlib.compress(pack_sections([header, sizes, packed]), level)
+
+
+def _legacy_zfp_blob(data, bound, *, pw_rel, block=64):
+    flat = np.asarray(data, dtype=np.float64).reshape(-1)
+    if pw_rel:
+        transform = PointwiseRelativeTransform.forward(flat, bound)
+        inner = _legacy_zfp_values_section(transform.log_values, transform.log_bound, block)
+        neg = np.packbits(transform.negative_mask.astype(np.uint8)).tobytes()
+        zero = np.packbits(transform.zero_mask.astype(np.uint8)).tobytes()
+        count = np.asarray([flat.size], dtype=np.int64).tobytes()
+        payload = zlib.compress(pack_sections([count, inner, neg, zero]), 6)
+        scheme = "pw_rel"
+    else:
+        payload = _legacy_zfp_values_section(flat, bound, block)
+        scheme = "zfp"
+    return CompressedBlob(
+        payload=payload,
+        shape=np.asarray(data).shape,
+        dtype=np.asarray(data).dtype.str,
+        compressor="zfp",
+        meta={"error_bound": "legacy", "block_size": block, "scheme": scheme},
+    )
+
+
+class TestLegacyPayloadsDecode:
+    def test_legacy_blob_reports_version_zero(self, smooth_vector):
+        blob = _legacy_sz_abs_blob(smooth_vector, 1e-5)
+        assert blob.format_version == 0
+
+    @pytest.mark.parametrize("predictor", ["lorenzo", "linear"])
+    def test_sz_abs_legacy(self, smooth_vector, predictor):
+        blob = _legacy_sz_abs_blob(smooth_vector, 1e-5, predictor)
+        recon = SZCompressor(ErrorBound.absolute(1e-5), predictor=predictor).decompress(blob)
+        assert max_abs_error(smooth_vector, recon) <= 1e-5 * (1 + 1e-8)
+
+    @pytest.mark.parametrize("predictor", ["lorenzo", "linear"])
+    def test_sz_pw_rel_legacy(self, smooth_vector, predictor):
+        blob = _legacy_sz_pw_rel_blob(smooth_vector, 1e-4, predictor)
+        recon = SZCompressor(1e-4, predictor=predictor).decompress(blob)
+        assert max_pointwise_relative_error(smooth_vector, recon) <= 1e-4 * (1 + 1e-8)
+
+    def test_zfp_abs_legacy(self, smooth_vector):
+        blob = _legacy_zfp_blob(smooth_vector, 1e-5, pw_rel=False)
+        recon = ZFPCompressor(ErrorBound.absolute(1e-5)).decompress(blob)
+        assert max_abs_error(smooth_vector, recon) <= 1e-5 * (1 + 1e-8)
+
+    def test_zfp_pw_rel_legacy(self, smooth_vector):
+        blob = _legacy_zfp_blob(smooth_vector, 1e-4, pw_rel=True)
+        recon = ZFPCompressor(1e-4).decompress(blob)
+        assert max_pointwise_relative_error(smooth_vector, recon) <= 1e-4 * (1 + 1e-8)
+
+    def test_raw_scheme_decodes_without_version(self):
+        data = np.array([1e30, -1e30, 5e29, 1.0])
+        payload = zlib.compress(data.tobytes(), 6)
+        blob = CompressedBlob(
+            payload=payload,
+            shape=data.shape,
+            dtype=data.dtype.str,
+            compressor="sz",
+            meta={"scheme": "raw"},
+        )
+        assert np.array_equal(SZCompressor(1e-4).decompress(blob), data)
