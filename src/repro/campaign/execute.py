@@ -263,11 +263,14 @@ def _run_ft(cell) -> Dict[str, object]:
 
     The checkpoint interval follows the paper's two-step methodology: the
     scheme's checkpoint cost is characterized first, then Young's formula maps
-    it to the interval (unless the cell pins an explicit interval).
+    it to the interval (unless the cell pins an explicit interval).  The
+    cell's scenario coordinates (failure model x recovery levels) select the
+    engine regime; the default reproduces the paper's Poisson/PFS setup.
     """
     from repro.cluster.machine import ClusterModel
     from repro.core.runner import FaultTolerantRunner
     from repro.core.scale import paper_scale
+    from repro.engine.scenario import Scenario
     from repro.experiments.characterize import scheme_timings
 
     problem, solver, baseline = _setup(cell)
@@ -300,6 +303,9 @@ def _run_ft(cell) -> Dict[str, object]:
         method=cell.method,
         baseline=baseline,
         seed=cell.seed,
+        scenario=Scenario(
+            failure_model=cell.failure_model, recovery_levels=cell.recovery_levels
+        ),
     )
     report = runner.run()
     return {
@@ -312,6 +318,8 @@ def _run_ft(cell) -> Dict[str, object]:
         "interval_seconds": float(interval),
         "iteration_seconds": float(iteration_seconds),
         "baseline_iterations": int(baseline.iterations),
+        "failure_model": str(cell.failure_model),
+        "recovery_levels": str(cell.recovery_levels),
     }
 
 

@@ -12,9 +12,10 @@ cells can be
   (:mod:`repro.campaign.cache`).
 
 :class:`CampaignSpec` is the declarative grid {kind x method x scheme x
-compressor x error bound x interval x MTTI x scale x repetition} that expands
-into the cell list; figure modules that need a heterogeneous or specially
-seeded cell list pass explicit ``cells`` instead of grid axes.
+compressor x error bound x interval x MTTI x scenario (failure model x
+recovery levels) x scale x repetition} that expands into the cell list;
+figure modules that need a heterogeneous or specially seeded cell list pass
+explicit ``cells`` instead of grid axes.
 """
 
 from __future__ import annotations
@@ -41,7 +42,10 @@ KINDS = (
 #: Bumped when a change to the executor invalidates previously cached results.
 #: 2: the v1 block codec changed SZ/ZFP payload sizes, hence every cached
 #: compression ratio and the sizes/overheads derived from them.
-CACHE_VERSION = 2
+#: 3: the discrete-event engine added the scenario axis (failure model x
+#: recovery levels) to ft cells and fixed give-up/overdue-checkpoint
+#: accounting, changing some cached FT reports.
+CACHE_VERSION = 3
 
 _Params = Tuple[Tuple[str, object], ...]
 
@@ -83,6 +87,13 @@ class RunSpec:
     mtti_seconds:
         Mean time to interruption of the injected failures (``None`` disables
         failures).
+    failure_model:
+        Failure-arrival model of the injected failures (``poisson``, the
+        paper's process, or ``weibull``/``bursty``; see
+        :mod:`repro.cluster.failures`).
+    recovery_levels:
+        Where checkpoints live: ``pfs`` (the paper's L4-only pricing) or
+        ``fti`` (the multilevel FTI cycle with per-level costs/survival).
     checkpoint_interval_seconds:
         Explicit interval; ``None`` applies Young's formula to the
         characterized checkpoint cost.
@@ -111,6 +122,8 @@ class RunSpec:
     adaptive: bool = False
     num_processes: int = 2048
     mtti_seconds: Optional[float] = 3600.0
+    failure_model: str = "poisson"
+    recovery_levels: str = "pfs"
     checkpoint_interval_seconds: Optional[float] = None
     repetition: int = 0
     seed: int = 2018
@@ -125,6 +138,21 @@ class RunSpec:
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown cell kind {self.kind!r}; known: {KINDS}")
+        from repro.engine.scenario import CAMPAIGN_FAILURE_MODELS, RECOVERY_LEVELS
+
+        if self.failure_model not in CAMPAIGN_FAILURE_MODELS:
+            # "scripted" is deliberately excluded: a cell cannot carry the
+            # explicit failure times it needs, so it would silently run
+            # failure-free.
+            raise ValueError(
+                f"unknown failure model {self.failure_model!r}; "
+                f"known: {CAMPAIGN_FAILURE_MODELS}"
+            )
+        if self.recovery_levels not in RECOVERY_LEVELS:
+            raise ValueError(
+                f"unknown recovery levels {self.recovery_levels!r}; "
+                f"known: {RECOVERY_LEVELS}"
+            )
         object.__setattr__(self, "params", _freeze_params(self.params))
 
     def param(self, name: str, default=None):
@@ -150,6 +178,8 @@ class RunSpec:
             "adaptive": bool(self.adaptive),
             "num_processes": int(self.num_processes),
             "mtti_seconds": None if self.mtti_seconds is None else float(self.mtti_seconds),
+            "failure_model": self.failure_model,
+            "recovery_levels": self.recovery_levels,
             "checkpoint_interval_seconds": (
                 None
                 if self.checkpoint_interval_seconds is None
@@ -203,6 +233,8 @@ class CampaignSpec:
     error_bounds: Tuple[float, ...] = (1e-4,)
     checkpoint_intervals: Tuple[Optional[float], ...] = (None,)
     mttis: Tuple[Optional[float], ...] = (3600.0,)
+    failure_models: Tuple[str, ...] = ("poisson",)
+    recovery_levels: Tuple[str, ...] = ("pfs",)
     process_counts: Tuple[int, ...] = (2048,)
     repetitions: int = 1
     seed: int = 2018
@@ -221,6 +253,8 @@ class CampaignSpec:
         object.__setattr__(self, "error_bounds", tuple(float(e) for e in self.error_bounds))
         object.__setattr__(self, "checkpoint_intervals", tuple(self.checkpoint_intervals))
         object.__setattr__(self, "mttis", tuple(self.mttis))
+        object.__setattr__(self, "failure_models", tuple(self.failure_models))
+        object.__setattr__(self, "recovery_levels", tuple(self.recovery_levels))
         object.__setattr__(self, "process_counts", tuple(int(p) for p in self.process_counts))
         object.__setattr__(self, "rtols", _freeze_params(dict(self.rtols)))
         object.__setattr__(self, "params", _freeze_params(self.params))
@@ -244,44 +278,77 @@ class CampaignSpec:
                     for eb in self.error_bounds:
                         for interval in self.checkpoint_intervals:
                             for mtti in self.mttis:
-                                for procs in self.process_counts:
-                                    for rep in range(self.repetitions):
-                                        cell_seed = derive_seed(
-                                            self.seed,
-                                            method,
-                                            scheme,
-                                            compressor,
-                                            repr(float(eb)),
-                                            repr(interval),
-                                            repr(mtti),
-                                            procs,
-                                            rep,
-                                        )
-                                        expanded.append(
-                                            RunSpec(
-                                                kind=self.kind,
-                                                method=method,
-                                                scheme=scheme,
-                                                compressor=compressor,
-                                                error_bound=float(eb),
-                                                adaptive=(
-                                                    scheme == "lossy" and method == "gmres"
-                                                ),
-                                                num_processes=int(procs),
-                                                mtti_seconds=mtti,
-                                                checkpoint_interval_seconds=interval,
-                                                repetition=rep,
-                                                seed=cell_seed,
-                                                problem_seed=self.seed,
-                                                grid_n=self.grid_n,
-                                                kkt_n=self.kkt_n,
-                                                rtol=self.rtol_for(method),
-                                                gmres_restart=self.gmres_restart,
-                                                max_iter=self.max_iter,
-                                                params=self.params,
-                                            )
-                                        )
+                                for failure_model in self.failure_models:
+                                    for levels in self.recovery_levels:
+                                        for procs in self.process_counts:
+                                            for rep in range(self.repetitions):
+                                                expanded.append(
+                                                    self._cell(
+                                                        method,
+                                                        scheme,
+                                                        compressor,
+                                                        eb,
+                                                        interval,
+                                                        mtti,
+                                                        failure_model,
+                                                        levels,
+                                                        procs,
+                                                        rep,
+                                                    )
+                                                )
         return expanded
+
+    def _cell(
+        self,
+        method: str,
+        scheme: str,
+        compressor: str,
+        eb: float,
+        interval: Optional[float],
+        mtti: Optional[float],
+        failure_model: str,
+        recovery_levels: str,
+        procs: int,
+        rep: int,
+    ) -> RunSpec:
+        salts = [
+            method,
+            scheme,
+            compressor,
+            repr(float(eb)),
+            repr(interval),
+            repr(mtti),
+            procs,
+            rep,
+        ]
+        # Scenario coordinates only salt the seed when non-default, so every
+        # pre-scenario campaign keeps its exact historical cell seeds (and
+        # with them the statistical baselines the figure tests pin).
+        if failure_model != "poisson" or recovery_levels != "pfs":
+            salts += [failure_model, recovery_levels]
+        cell_seed = derive_seed(self.seed, *salts)
+        return RunSpec(
+            kind=self.kind,
+            method=method,
+            scheme=scheme,
+            compressor=compressor,
+            error_bound=float(eb),
+            adaptive=(scheme == "lossy" and method == "gmres"),
+            num_processes=int(procs),
+            mtti_seconds=mtti,
+            failure_model=failure_model,
+            recovery_levels=recovery_levels,
+            checkpoint_interval_seconds=interval,
+            repetition=rep,
+            seed=cell_seed,
+            problem_seed=self.seed,
+            grid_n=self.grid_n,
+            kkt_n=self.kkt_n,
+            rtol=self.rtol_for(method),
+            gmres_restart=self.gmres_restart,
+            max_iter=self.max_iter,
+            params=self.params,
+        )
 
     def __len__(self) -> int:
         if self.cells:
@@ -293,6 +360,8 @@ class CampaignSpec:
             * len(self.error_bounds)
             * len(self.checkpoint_intervals)
             * len(self.mttis)
+            * len(self.failure_models)
+            * len(self.recovery_levels)
             * len(self.process_counts)
             * self.repetitions
         )
@@ -309,6 +378,8 @@ class CampaignSpec:
             "error_bounds": list(self.error_bounds),
             "checkpoint_intervals": list(self.checkpoint_intervals),
             "mttis": list(self.mttis),
+            "failure_models": list(self.failure_models),
+            "recovery_levels": list(self.recovery_levels),
             "process_counts": list(self.process_counts),
             "repetitions": int(self.repetitions),
             "seed": int(self.seed),

@@ -143,6 +143,16 @@ class MultilevelCheckpointStore(CheckpointStore):
         self._store.delete(checkpoint_id)
 
     # -- multilevel-specific ---------------------------------------------------
+    def next_level(self) -> CheckpointLevel:
+        """Level the *next* new dynamic checkpoint will be written to.
+
+        Lets a caller price a write before performing it (the fault-tolerance
+        engine charges the level's cost even for an attempt that a failure
+        later discards); the cycle itself only advances on an actual
+        :meth:`write`.
+        """
+        return self.policy.level_for(self._dynamic_writes)
+
     def level_of(self, checkpoint_id: int) -> CheckpointLevel:
         """The level the given checkpoint was written to."""
         return self._levels[int(checkpoint_id)]

@@ -12,7 +12,16 @@ at 2,048 processes).
 
 from repro.cluster.machine import MachineSpec, ClusterModel, BEBOP_LIKE
 from repro.cluster.pfs import PFSModel
-from repro.cluster.failures import FailureInjector, FailureEvent
+from repro.cluster.failures import (
+    FailureInjector,
+    FailureEvent,
+    FailureModel,
+    PoissonFailureModel,
+    WeibullFailureModel,
+    BurstyFailureModel,
+    ScriptedFailureModel,
+    make_failure_model,
+)
 from repro.cluster.partition import block_partition, local_sizes, BlockPartition
 
 __all__ = [
@@ -22,6 +31,12 @@ __all__ = [
     "PFSModel",
     "FailureInjector",
     "FailureEvent",
+    "FailureModel",
+    "PoissonFailureModel",
+    "WeibullFailureModel",
+    "BurstyFailureModel",
+    "ScriptedFailureModel",
+    "make_failure_model",
     "block_partition",
     "local_sizes",
     "BlockPartition",

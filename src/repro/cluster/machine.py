@@ -191,18 +191,27 @@ class ClusterModel:
 
     # -- checkpoint / recovery time --------------------------------------------
     def checkpoint_seconds(
-        self, uncompressed_bytes: float, compressed_bytes: float, *, compressed: bool = True
+        self,
+        uncompressed_bytes: float,
+        compressed_bytes: float,
+        *,
+        compressed: bool = True,
+        write_cost_multiplier: float = 1.0,
     ) -> float:
         """Modeled time of one checkpoint write.
 
         ``uncompressed_bytes`` is the dynamic-variable footprint before
         compression; ``compressed_bytes`` is what actually goes to the PFS.
         ``compressed=False`` (traditional checkpointing) skips the compression
-        stage.
+        stage.  ``write_cost_multiplier`` scales the storage-write portion
+        only (FTI-style multilevel checkpointing prices an L1 local write at a
+        few percent of a PFS write; compression time is level-independent).
         """
         write = self.spec.pfs.write_seconds(
             compressed_bytes, num_processes=self.num_processes
         )
+        if write_cost_multiplier != 1.0:
+            write *= check_positive(write_cost_multiplier, "write_cost_multiplier")
         if not compressed:
             return write
         return self.compression_seconds(uncompressed_bytes) + write
@@ -214,11 +223,19 @@ class ClusterModel:
         *,
         static_bytes: float = 0.0,
         compressed: bool = True,
+        read_cost_multiplier: float = 1.0,
     ) -> float:
-        """Modeled time of one recovery (read + decompress + rebuild statics)."""
+        """Modeled time of one recovery (read + decompress + rebuild statics).
+
+        ``read_cost_multiplier`` scales the storage-read portion only, so a
+        multilevel recovery from a local/partner/RS-encoded checkpoint costs
+        less than the PFS read the paper always prices.
+        """
         read = self.spec.pfs.read_seconds(
             compressed_bytes, num_processes=self.num_processes
         )
+        if read_cost_multiplier != 1.0:
+            read *= check_positive(read_cost_multiplier, "read_cost_multiplier")
         rebuild = 0.0
         if static_bytes:
             rate = self.spec.static_rebuild_bandwidth_per_core * self.num_processes

@@ -1,631 +1,26 @@
-"""Fault-tolerant execution of iterative solvers with (lossy) checkpointing.
+"""Fault-tolerant execution of iterative solvers — compatibility surface.
 
-This module is the reproduction of the paper's Algorithms 1 and 2 plus the
-failure-injection methodology of Section 5.4:
+The implementation lives in :mod:`repro.engine`: the original
+``FaultTolerantRunner`` dict-closure state machine was refactored into the
+discrete-event :class:`~repro.engine.core.FaultToleranceEngine` (explicit
+compute/checkpoint/failure/recovery/rollback events against a typed
+:class:`~repro.engine.core.EngineState`, solver-agnostic via the
+``CheckpointableState`` protocol, pluggable failure models and
+multilevel-aware recovery costing via
+:class:`~repro.engine.scenario.Scenario`).
 
-* the solver runs for real (at reduced problem size) and its per-iteration
-  callback drives a *virtual* cluster timeline: each iteration costs the
-  paper-calibrated ``Tit``, each checkpoint costs the modeled compression +
-  PFS-write time, each recovery the modeled read + decompression +
-  static-rebuild time;
-* failures arrive as a Poisson process on that timeline (they can strike
-  during compute, during a checkpoint, or during a recovery);
-* on a failure, the runner restores the last complete checkpoint.  Exact
-  schemes (traditional / lossless) restore the solver state bit-for-bit —
-  for CG that includes the direction vector and ``rho``, so the Krylov
-  sequence resumes unchanged; the lossy scheme restores only the decompressed
-  ``x`` and restarts the method from it (restarted CG / restarted GMRES),
-  which is where the extra iterations ``N'`` come from — they are *measured*,
-  not assumed;
-* the report compares the failure-injected run against a failure-free
-  baseline: total virtual time, fault-tolerance overhead (total minus the
-  baseline's productive time, exactly the paper's definition), iteration
-  counts, checkpoint/recovery statistics and the residual trace.
+This module keeps the historical import surface — ``FaultTolerantRunner``
+*is* the engine, with identical constructor parameters and byte-identical
+reports for the default (Poisson failures, PFS recovery) scenario, as pinned
+by the engine-equivalence test suite.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
-
-from repro.cluster.failures import FailureInjector
-from repro.cluster.machine import ClusterModel
-from repro.compression.base import CompressedBlob
-from repro.core.model import young_interval
-from repro.core.scale import ExperimentScale
-from repro.core.schemes import CheckpointingScheme
-from repro.solvers.base import IterationState, IterativeSolver, SolverInterrupt
-from repro.solvers.cg import CGSolver
-from repro.utils.rng import SeedLike
-from repro.utils.timing import VirtualClock
-from repro.utils.validation import check_positive
+from repro.engine.core import FaultToleranceEngine
+from repro.engine.report import BaselineRun, FTRunReport, run_failure_free
 
 __all__ = ["FaultTolerantRunner", "FTRunReport", "run_failure_free", "BaselineRun"]
 
-
-def _json_scalar(value: object) -> object:
-    """Coerce numpy scalars to plain Python so ``json.dumps`` accepts them."""
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
-    if isinstance(value, (np.bool_,)):
-        return bool(value)
-    return value
-
-
-@dataclass
-class BaselineRun:
-    """Failure-free reference execution of a solver."""
-
-    iterations: int
-    converged: bool
-    residual_norms: List[float]
-    final_residual_norm: float
-    x: np.ndarray
-
-    def productive_seconds(
-        self,
-        iteration_seconds: Optional[float] = None,
-        *,
-        cluster: Optional[ClusterModel] = None,
-        method: Optional[str] = None,
-    ) -> float:
-        """Failure-free productive time, ``iterations * Tit``.
-
-        Pass either ``iteration_seconds`` directly or a ``cluster`` model plus
-        the ``method`` name to look the per-iteration time up from the
-        calibration table.
-        """
-        if iteration_seconds is None:
-            if cluster is None or method is None:
-                raise ValueError(
-                    "provide iteration_seconds, or a cluster model and method "
-                    "name to derive it"
-                )
-            iteration_seconds = cluster.iteration_time(method)
-        return self.iterations * check_positive(iteration_seconds, "iteration_seconds")
-
-
-def run_failure_free(
-    solver: IterativeSolver, b: np.ndarray, *, x0: Optional[np.ndarray] = None
-) -> BaselineRun:
-    """Run ``solver`` once without failures and return the reference trajectory."""
-    result = solver.solve(b, x0=x0)
-    return BaselineRun(
-        iterations=result.iterations,
-        converged=result.converged,
-        residual_norms=list(result.residual_norms),
-        final_residual_norm=result.final_residual_norm,
-        x=result.x,
-    )
-
-
-@dataclass
-class _CheckpointState:
-    """The runner's in-memory record of the last complete checkpoint."""
-
-    iteration: int
-    x_blob: CompressedBlob
-    krylov_p: Optional[np.ndarray]
-    krylov_rho: Optional[float]
-    compression_ratio: float
-    model_uncompressed_bytes: float
-    model_compressed_bytes: float
-
-
-@dataclass
-class FTRunReport:
-    """Outcome of one failure-injected run."""
-
-    scheme: str
-    method: str
-    converged: bool
-    total_iterations: int
-    baseline_iterations: int
-    num_failures: int
-    num_checkpoints: int
-    num_restarts_from_scratch: int
-    total_seconds: float
-    productive_seconds: float
-    checkpoint_seconds: float
-    recovery_seconds: float
-    checkpoint_interval_seconds: float
-    mean_checkpoint_seconds: float
-    mean_recovery_seconds: float
-    mean_compression_ratio: float
-    residual_trace: List[Tuple[int, float]] = field(default_factory=list)
-    info: Dict[str, object] = field(default_factory=dict)
-
-    @property
-    def extra_iterations(self) -> int:
-        """Iterations beyond the failure-free baseline (the measured N' total)."""
-        return self.total_iterations - self.baseline_iterations
-
-    @property
-    def fault_tolerance_overhead(self) -> float:
-        """Total time minus the failure-free productive time (paper's metric)."""
-        return self.total_seconds - self.productive_seconds
-
-    @property
-    def overhead_fraction(self) -> float:
-        """Overhead relative to the failure-free productive time."""
-        if self.productive_seconds == 0:
-            return float("inf")
-        return self.fault_tolerance_overhead / self.productive_seconds
-
-    # -- serialization (campaign cache / worker transport) -------------------
-    def to_dict(self) -> Dict[str, object]:
-        """JSON-safe dictionary representation (numpy scalars coerced)."""
-        return {
-            "scheme": str(self.scheme),
-            "method": str(self.method),
-            "converged": bool(self.converged),
-            "total_iterations": int(self.total_iterations),
-            "baseline_iterations": int(self.baseline_iterations),
-            "num_failures": int(self.num_failures),
-            "num_checkpoints": int(self.num_checkpoints),
-            "num_restarts_from_scratch": int(self.num_restarts_from_scratch),
-            "total_seconds": float(self.total_seconds),
-            "productive_seconds": float(self.productive_seconds),
-            "checkpoint_seconds": float(self.checkpoint_seconds),
-            "recovery_seconds": float(self.recovery_seconds),
-            "checkpoint_interval_seconds": float(self.checkpoint_interval_seconds),
-            "mean_checkpoint_seconds": float(self.mean_checkpoint_seconds),
-            "mean_recovery_seconds": float(self.mean_recovery_seconds),
-            "mean_compression_ratio": float(self.mean_compression_ratio),
-            "residual_trace": [
-                [int(it), float(res)] for it, res in self.residual_trace
-            ],
-            "info": {str(k): _json_scalar(v) for k, v in self.info.items()},
-        }
-
-    @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "FTRunReport":
-        """Rebuild a report from :meth:`to_dict` output (or parsed JSON)."""
-        return cls(
-            scheme=str(data["scheme"]),
-            method=str(data["method"]),
-            converged=bool(data["converged"]),
-            total_iterations=int(data["total_iterations"]),
-            baseline_iterations=int(data["baseline_iterations"]),
-            num_failures=int(data["num_failures"]),
-            num_checkpoints=int(data["num_checkpoints"]),
-            num_restarts_from_scratch=int(data["num_restarts_from_scratch"]),
-            total_seconds=float(data["total_seconds"]),
-            productive_seconds=float(data["productive_seconds"]),
-            checkpoint_seconds=float(data["checkpoint_seconds"]),
-            recovery_seconds=float(data["recovery_seconds"]),
-            checkpoint_interval_seconds=float(data["checkpoint_interval_seconds"]),
-            mean_checkpoint_seconds=float(data["mean_checkpoint_seconds"]),
-            mean_recovery_seconds=float(data["mean_recovery_seconds"]),
-            mean_compression_ratio=float(data["mean_compression_ratio"]),
-            residual_trace=[
-                (int(it), float(res)) for it, res in data.get("residual_trace", [])
-            ],
-            info=dict(data.get("info", {})),
-        )
-
-    def to_json(self, **kwargs) -> str:
-        """Serialize to a JSON string (``sort_keys`` for byte-determinism)."""
-        kwargs.setdefault("sort_keys", True)
-        return json.dumps(self.to_dict(), **kwargs)
-
-    @classmethod
-    def from_json(cls, payload: str) -> "FTRunReport":
-        """Rebuild a report from a :meth:`to_json` string."""
-        return cls.from_dict(json.loads(payload))
-
-
-class _FailureSignal(SolverInterrupt):
-    """Internal interrupt raised by the runner's callback when a failure hits."""
-
-
-class FaultTolerantRunner:
-    """Execute one solver under one checkpointing scheme with injected failures.
-
-    Parameters
-    ----------
-    solver:
-        A configured :class:`~repro.solvers.base.IterativeSolver`.
-    b:
-        Right-hand side.
-    scheme:
-        The checkpointing scheme (traditional / lossless / lossy).
-    cluster:
-        Cluster time model (already set to the desired process count).
-    scale:
-        Paper-scale problem description used to convert measured compression
-        ratios into modeled checkpoint bytes.
-    mtti_seconds:
-        Mean time to interruption for the injected failures; ``None`` disables
-        failures.
-    checkpoint_interval_seconds:
-        Virtual seconds between checkpoints.  When None it is derived from
-        Young's formula using ``estimated_checkpoint_seconds``.
-    estimated_checkpoint_seconds:
-        A priori estimate of one checkpoint's cost (as the paper does, from
-        the fixed-frequency characterization runs of Section 5.3); required
-        when ``checkpoint_interval_seconds`` is None.
-    method:
-        Name used for iteration-time calibration; defaults to ``solver.name``.
-    baseline:
-        Failure-free reference; computed on demand when omitted.
-    max_restarts:
-        Safety cap on the number of failure recoveries before giving up.
-    """
-
-    def __init__(
-        self,
-        solver: IterativeSolver,
-        b: np.ndarray,
-        scheme: CheckpointingScheme,
-        *,
-        cluster: Optional[ClusterModel] = None,
-        scale: Optional[ExperimentScale] = None,
-        mtti_seconds: Optional[float] = 3600.0,
-        checkpoint_interval_seconds: Optional[float] = None,
-        estimated_checkpoint_seconds: Optional[float] = None,
-        iteration_seconds: Optional[float] = None,
-        method: Optional[str] = None,
-        baseline: Optional[BaselineRun] = None,
-        x0: Optional[np.ndarray] = None,
-        seed: SeedLike = None,
-        max_restarts: int = 1000,
-        max_total_iterations: Optional[int] = None,
-    ) -> None:
-        self.solver = solver
-        self.b = np.asarray(b, dtype=np.float64)
-        self.scheme = scheme
-        self.cluster = cluster or ClusterModel()
-        self.scale = scale or ExperimentScale(
-            num_processes=self.cluster.num_processes, grid_n=2160
-        )
-        self.mtti_seconds = mtti_seconds
-        self.method = method or solver.name
-        self.iteration_seconds = (
-            check_positive(iteration_seconds, "iteration_seconds")
-            if iteration_seconds is not None
-            else self.cluster.iteration_time(self.method)
-        )
-        if checkpoint_interval_seconds is None:
-            if estimated_checkpoint_seconds is None:
-                raise ValueError(
-                    "provide either checkpoint_interval_seconds or "
-                    "estimated_checkpoint_seconds (to apply Young's formula)"
-                )
-            if mtti_seconds is None:
-                raise ValueError(
-                    "Young's formula needs a finite MTTI; pass "
-                    "checkpoint_interval_seconds explicitly for failure-free runs"
-                )
-            checkpoint_interval_seconds = young_interval(
-                estimated_checkpoint_seconds, mtti_seconds
-            )
-        self.checkpoint_interval_seconds = check_positive(
-            checkpoint_interval_seconds, "checkpoint_interval_seconds"
-        )
-        self.x0 = (
-            np.zeros(self.solver.n, dtype=np.float64)
-            if x0 is None
-            else np.asarray(x0, dtype=np.float64).copy()
-        )
-        self.seed = seed
-        self.baseline = baseline
-        self.max_restarts = int(max_restarts)
-        self.max_total_iterations = max_total_iterations
-        self.b_norm = float(np.linalg.norm(self.b))
-
-    # ------------------------------------------------------------------
-    def run(self) -> FTRunReport:
-        """Execute the failure-injected run and return its report."""
-        if self.baseline is None:
-            self.baseline = run_failure_free(self.solver, self.b, x0=self.x0)
-
-        clock = VirtualClock()
-        injector = FailureInjector(self.mtti_seconds, seed=self.seed)
-        vectors = self.scheme.dynamic_vector_count(self.method)
-
-        # Mutable loop state shared with the callback via a dict closure.
-        state: Dict[str, object] = {
-            "next_ckpt_time": self.checkpoint_interval_seconds,
-            "last_checkpoint": None,
-            "last_ckpt_completion_time": 0.0,
-            # Compute-category seconds of solver progress since the last
-            # complete checkpoint — this (not wall-clock time) is what has to
-            # be re-executed after a failure under an exact scheme.
-            "compute_since_ckpt": 0.0,
-            "num_checkpoints": 0,
-            "num_failures_handled_inline": 0,
-            "ratios": [],
-            "ckpt_times": [],
-            "recovery_times": [],
-            "residual_trace": [],
-            "interrupted_at": None,
-        }
-
-        def handle_failure_inline(failure_time: float, phase: str) -> None:
-            """Exact-scheme failure: pure time cost (recovery + rollback).
-
-            Traditional and lossless checkpoints restore the solver state
-            bit-for-bit, so the numerical trajectory is unaffected — the
-            failure only costs the recovery read plus re-execution of the work
-            done since the last complete checkpoint.  The solve itself is not
-            interrupted (its re-execution would reproduce the same iterates).
-            """
-            injector.consume(failure_time, phase)
-            state["num_failures_handled_inline"] = (
-                int(state["num_failures_handled_inline"]) + 1
-            )
-            last: Optional[_CheckpointState] = state["last_checkpoint"]  # type: ignore[assignment]
-            recovery_seconds = self._recovery_seconds(last, vectors)
-            self._advance_with_failures(clock, injector, recovery_seconds, "recovery")
-            state["recovery_times"].append(recovery_seconds)
-            rollback_seconds = float(state["compute_since_ckpt"])
-            self._advance_with_failures(clock, injector, rollback_seconds, "rollback")
-            state["next_ckpt_time"] = clock.now + self.checkpoint_interval_seconds
-
-        def callback(it_state: IterationState) -> None:
-            start = clock.now
-            clock.advance(self.iteration_seconds, "compute")
-            state["compute_since_ckpt"] = (
-                float(state["compute_since_ckpt"]) + self.iteration_seconds
-            )
-            state["residual_trace"].append(
-                (it_state.iteration, it_state.residual_norm)
-            )
-            failure_time = injector.failure_in(start, clock.now)
-            if failure_time is not None:
-                if self.scheme.lossy:
-                    injector.consume(failure_time, "compute")
-                    state["interrupted_at"] = it_state.iteration
-                    raise _FailureSignal(it_state.iteration, "failure during compute")
-                handle_failure_inline(failure_time, "compute")
-            if clock.now >= state["next_ckpt_time"] and self._checkpoint_allowed(
-                it_state, overdue_seconds=clock.now - float(state["next_ckpt_time"])
-            ):
-                self._take_checkpoint(
-                    it_state, clock, injector, state, vectors, handle_failure_inline
-                )
-
-        x_current = self.x0.copy()
-        warm_start: Optional[Tuple[np.ndarray, float]] = None
-        iteration_offset = 0
-        restarts_from_scratch = 0
-        converged = False
-        total_iterations = 0
-        restarts = 0
-
-        while True:
-            interrupted = False
-            try:
-                result = self._solve_once(
-                    x_current, warm_start, iteration_offset, callback
-                )
-            except _FailureSignal:
-                interrupted = True
-                result = None
-
-            if not interrupted and result is not None:
-                total_iterations = iteration_offset + result.iterations
-                converged = result.converged
-                break
-
-            # ---- failure path: recover from the last complete checkpoint ----
-            restarts += 1
-            if restarts > self.max_restarts:
-                break
-            last: Optional[_CheckpointState] = state["last_checkpoint"]  # type: ignore[assignment]
-            recovery_seconds = self._recovery_seconds(last, vectors)
-            self._advance_with_failures(clock, injector, recovery_seconds, "recovery")
-            state["recovery_times"].append(recovery_seconds)
-
-            if last is None:
-                # No checkpoint yet: restart from the initial guess.
-                x_current = self.x0.copy()
-                warm_start = None
-                iteration_offset = 0
-                restarts_from_scratch += 1
-            else:
-                compressor = self.scheme.compressor()
-                x_current = np.asarray(
-                    compressor.decompress(last.x_blob), dtype=np.float64
-                )
-                iteration_offset = last.iteration
-                if (
-                    self.scheme.checkpoint_krylov_state
-                    and isinstance(self.solver, CGSolver)
-                    and last.krylov_p is not None
-                ):
-                    warm_start = (last.krylov_p, float(last.krylov_rho))
-                else:
-                    warm_start = None
-            if (
-                self.max_total_iterations is not None
-                and iteration_offset >= self.max_total_iterations
-            ):
-                break
-
-        total_ckpt_seconds = clock.time_in("checkpoint")
-        total_recovery_seconds = clock.time_in("recovery")
-        productive_seconds = self.baseline.iterations * self.iteration_seconds
-        ratios = state["ratios"] or [1.0]
-        return FTRunReport(
-            scheme=self.scheme.name,
-            method=self.method,
-            converged=converged,
-            total_iterations=total_iterations,
-            baseline_iterations=self.baseline.iterations,
-            num_failures=injector.count,
-            num_checkpoints=int(state["num_checkpoints"]),
-            num_restarts_from_scratch=restarts_from_scratch,
-            total_seconds=clock.now,
-            productive_seconds=productive_seconds,
-            checkpoint_seconds=total_ckpt_seconds,
-            recovery_seconds=total_recovery_seconds,
-            checkpoint_interval_seconds=self.checkpoint_interval_seconds,
-            mean_checkpoint_seconds=float(np.mean(state["ckpt_times"]))
-            if state["ckpt_times"]
-            else 0.0,
-            mean_recovery_seconds=float(np.mean(state["recovery_times"]))
-            if state["recovery_times"]
-            else 0.0,
-            mean_compression_ratio=float(np.mean(ratios)),
-            residual_trace=list(state["residual_trace"]),
-            info={
-                "iteration_seconds": self.iteration_seconds,
-                "num_processes": self.cluster.num_processes,
-                "mtti_seconds": self.mtti_seconds,
-                "dynamic_vectors": vectors,
-            },
-        )
-
-    # -- internals -----------------------------------------------------------
-    def _checkpoint_allowed(
-        self, it_state: IterationState, *, overdue_seconds: float = 0.0
-    ) -> bool:
-        """Whether a checkpoint may be taken at this iteration.
-
-        Under the lossy scheme a recovery restarts the Krylov method from the
-        checkpointed iterate, so the checkpoint is deferred to the method's
-        natural restart boundary when the solver reports one (GMRES(k) cycle
-        ends).  At paper scale the deferral is at most ``k`` iterations —
-        negligible against the checkpoint interval — and it avoids throwing
-        away a partially built Krylov cycle on every recovery.  If the
-        deferral has already cost more than a quarter of the checkpoint
-        interval (only possible on very small local problems, where a cycle is
-        a large fraction of the whole run) the checkpoint is taken anyway.
-        """
-        if not self.scheme.lossy:
-            return True
-        if "cycle_end" in it_state.extras:
-            if bool(it_state.extras["cycle_end"]) or bool(
-                it_state.extras.get("converged", False)
-            ):
-                return True
-            return overdue_seconds > 0.25 * self.checkpoint_interval_seconds
-        return True
-
-    def _solve_once(self, x_current, warm_start, iteration_offset, callback):
-        remaining = None
-        if self.max_total_iterations is not None:
-            remaining = max(1, self.max_total_iterations - iteration_offset)
-        if isinstance(self.solver, CGSolver):
-            return self.solver.solve(
-                self.b,
-                x0=x_current,
-                callback=callback,
-                iteration_offset=iteration_offset,
-                warm_start=warm_start,
-                max_iter=remaining,
-            )
-        return self.solver.solve(
-            self.b,
-            x0=x_current,
-            callback=callback,
-            iteration_offset=iteration_offset,
-            max_iter=remaining,
-        )
-
-    def _take_checkpoint(
-        self,
-        it_state: IterationState,
-        clock: VirtualClock,
-        injector: FailureInjector,
-        state: Dict[str, object],
-        vectors: int,
-        handle_failure_inline,
-    ) -> None:
-        """Compress the current state and advance the clock by the modeled cost.
-
-        A failure landing inside the checkpoint window discards the incomplete
-        checkpoint (the previous complete one remains valid); under the lossy
-        scheme it also interrupts the solve, matching the paper's methodology
-        where failures may occur during the checkpoint/recovery period.
-        """
-        compressor = self.scheme.checkpoint_compressor(
-            residual_norm=it_state.residual_norm, b_norm=self.b_norm
-        )
-        x_blob = compressor.compress(it_state.x)
-        ratio = x_blob.compression_ratio
-
-        model_uncompressed = self.scale.vector_bytes * vectors
-        model_compressed = model_uncompressed / max(ratio, 1e-12)
-        ckpt_seconds = self.cluster.checkpoint_seconds(
-            model_uncompressed,
-            model_compressed,
-            compressed=self.scheme.uses_compression,
-        )
-
-        start = clock.now
-        clock.advance(ckpt_seconds, "checkpoint")
-        state["ckpt_times"].append(ckpt_seconds)
-        failure_time = injector.failure_in(start, clock.now)
-        if failure_time is not None:
-            # Incomplete checkpoint: do not update last_checkpoint.
-            if self.scheme.lossy:
-                injector.consume(failure_time, "checkpoint")
-                state["interrupted_at"] = it_state.iteration
-                state["next_ckpt_time"] = clock.now + self.checkpoint_interval_seconds
-                raise _FailureSignal(it_state.iteration, "failure during checkpoint")
-            handle_failure_inline(failure_time, "checkpoint")
-            return
-
-        krylov_p = None
-        krylov_rho = None
-        if self.scheme.checkpoint_krylov_state and "p" in it_state.extras:
-            krylov_p = np.asarray(it_state.extras["p"], dtype=np.float64)
-            krylov_rho = float(it_state.extras.get("rho", 0.0))
-        state["last_checkpoint"] = _CheckpointState(
-            iteration=it_state.iteration,
-            x_blob=x_blob,
-            krylov_p=krylov_p,
-            krylov_rho=krylov_rho,
-            compression_ratio=ratio,
-            model_uncompressed_bytes=model_uncompressed,
-            model_compressed_bytes=model_compressed,
-        )
-        state["num_checkpoints"] = int(state["num_checkpoints"]) + 1
-        state["ratios"].append(ratio)
-        state["last_ckpt_completion_time"] = clock.now
-        state["compute_since_ckpt"] = 0.0
-        state["next_ckpt_time"] = clock.now + self.checkpoint_interval_seconds
-
-    def _recovery_seconds(self, last: Optional[_CheckpointState], vectors: int) -> float:
-        if last is None:
-            # Nothing to read back: only the environment and static data are
-            # rebuilt before restarting from the initial guess.
-            return self.cluster.recovery_seconds(
-                0.0, 0.0, static_bytes=self.scale.static_bytes, compressed=False
-            )
-        return self.cluster.recovery_seconds(
-            last.model_uncompressed_bytes,
-            last.model_compressed_bytes,
-            static_bytes=self.scale.static_bytes,
-            compressed=self.scheme.uses_compression,
-        )
-
-    def _advance_with_failures(
-        self,
-        clock: VirtualClock,
-        injector: FailureInjector,
-        seconds: float,
-        category: str,
-    ) -> None:
-        """Advance the clock by ``seconds``, restarting the phase if a failure hits.
-
-        A failure during recovery forces the recovery to start over (bounded
-        by a small retry budget to keep pathological seeds terminating).
-        """
-        for _ in range(16):
-            start = clock.now
-            clock.advance(seconds, category)
-            failure_time = injector.failure_in(start, clock.now)
-            if failure_time is None:
-                return
-            injector.consume(failure_time, category)
-        # After repeated failures just proceed; the run accounting still holds.
-        return
+#: Historical name of the engine (every pre-engine call site keeps working).
+FaultTolerantRunner = FaultToleranceEngine

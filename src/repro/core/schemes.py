@@ -17,11 +17,12 @@ A scheme bundles everything the fault-tolerance runner needs to know about
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.compression.base import Compressor, make_compressor
 from repro.compression.errorbounds import ErrorBound
 from repro.core.gmres_theory import GMRESErrorBoundPolicy
+from repro.solvers.base import IterativeSolver, checkpoint_spec_for
 
 __all__ = ["CheckpointingScheme"]
 
@@ -150,14 +151,27 @@ class CheckpointingScheme:
             return base.with_error_bound(bound)
         return base
 
-    def dynamic_vector_count(self, method: str) -> int:
+    def dynamic_vector_count(self, method: "Union[str, IterativeSolver]") -> int:
         """How many full-length dynamic vectors this scheme checkpoints.
 
-        CG needs two vectors (``x`` and ``p``) under exact schemes but only
-        ``x`` under the lossy restarted scheme; every other method checkpoints
-        just ``x``.  Used to model paper-scale checkpoint sizes (Table 3 shows
-        CG's traditional/lossless checkpoints at twice the size).
+        Derived from the solver's ``CheckpointableState`` declaration
+        (:attr:`~repro.solvers.base.IterativeSolver.checkpoint_spec`) rather
+        than a per-method special case: under exact schemes the count is
+        ``x`` plus every extra vector the solver says an exact checkpoint
+        must store (CG: ``p`` → 2; BiCGSTAB: ``r``/``r_hat``/``p``/``v`` → 5;
+        GMRES and the stationary methods: just ``x`` → 1), so the modeled
+        checkpoint sizes (Table 3) always match what is actually stored.
+        The lossy restarted scheme checkpoints only ``x`` (Algorithm 2).
+
+        Accepts either a solver instance or a registered method name;
+        unregistered names fall back to a single vector.
         """
-        if method in ("cg", "bicgstab") and self.checkpoint_krylov_state:
-            return 2
-        return 1
+        if not self.checkpoint_krylov_state:
+            return 1
+        if isinstance(method, IterativeSolver):
+            spec = method.checkpoint_spec
+        else:
+            spec = checkpoint_spec_for(str(method))
+        if not spec.exact_resume:
+            return 1
+        return spec.vector_count

@@ -1,0 +1,61 @@
+"""Discrete-event fault-tolerance engine.
+
+The engine executes one iterative solve under one checkpointing scheme with
+injected failures on a virtual cluster timeline (the paper's Algorithms 1-2
+and Section 5.4 methodology), structured as explicit timeline events against
+a typed state:
+
+* :mod:`repro.engine.core` — the event loop
+  (:class:`~repro.engine.core.FaultToleranceEngine`);
+* :mod:`repro.engine.events` — the typed event vocabulary and the opt-in
+  :class:`~repro.engine.events.EventLog`;
+* :mod:`repro.engine.scenario` — pluggable failure models × recovery levels
+  (:class:`~repro.engine.scenario.Scenario`);
+* :mod:`repro.engine.report` — :class:`~repro.engine.report.FTRunReport` and
+  the failure-free baseline.
+
+``repro.core.runner`` remains the backward-compatible import surface
+(``FaultTolerantRunner`` is the engine under its historical name).
+"""
+
+from repro.engine.core import CheckpointRecord, EngineState, FaultToleranceEngine
+from repro.engine.events import (
+    CheckpointDiscardedEvent,
+    CheckpointTakenEvent,
+    ComputeEvent,
+    EngineEvent,
+    EventLog,
+    FailureHitEvent,
+    GiveUpEvent,
+    RecoveryEvent,
+    RollbackEvent,
+)
+from repro.engine.report import BaselineRun, FTRunReport, run_failure_free
+from repro.engine.scenario import (
+    DEFAULT_SCENARIO,
+    FAILURE_MODELS,
+    RECOVERY_LEVELS,
+    Scenario,
+)
+
+__all__ = [
+    "FaultToleranceEngine",
+    "EngineState",
+    "CheckpointRecord",
+    "EngineEvent",
+    "ComputeEvent",
+    "CheckpointTakenEvent",
+    "CheckpointDiscardedEvent",
+    "FailureHitEvent",
+    "RecoveryEvent",
+    "RollbackEvent",
+    "GiveUpEvent",
+    "EventLog",
+    "BaselineRun",
+    "FTRunReport",
+    "run_failure_free",
+    "Scenario",
+    "DEFAULT_SCENARIO",
+    "FAILURE_MODELS",
+    "RECOVERY_LEVELS",
+]

@@ -1,0 +1,751 @@
+"""Discrete-event fault-tolerance engine (Algorithms 1-2 + Section 5.4).
+
+This is the solver-agnostic successor of the original
+``FaultTolerantRunner``: the solver still runs for real (at reduced problem
+size) and its per-iteration callback drives a *virtual* cluster timeline,
+but the run is now narrated as explicit events on that timeline — compute,
+checkpoint, failure, recovery, rollback — dispatched against a typed
+:class:`EngineState` instead of a mutable dict closure, and every
+solver-specific decision flows through the ``CheckpointableState`` protocol
+(:class:`~repro.solvers.base.CheckpointSpec`) rather than ``isinstance``
+checks:
+
+* each solver declares which state an exact checkpoint stores and how the
+  sequence resumes (CG's ``(p, rho)``, BiCGSTAB's full recurrence, GMRES's
+  restart-boundary resume, the stationary methods' bare ``x``);
+* failure arrivals come from a pluggable
+  :class:`~repro.cluster.failures.FailureModel` (Poisson by default, plus
+  Weibull infant-mortality and bursty/correlated arrivals);
+* recovery is multilevel-aware: under the ``fti`` scenario checkpoints walk
+  the FTI level cycle of
+  :class:`~repro.checkpoint.multilevel.MultilevelCheckpointStore`, cheap
+  levels may not survive a failure, and a recovery is priced at the level of
+  the checkpoint it actually restores instead of always charging a PFS read.
+
+The default :class:`~repro.engine.scenario.Scenario` reproduces the original
+runner's reports byte-for-byte (pinned by the engine-equivalence test
+suite).
+
+Semantics of one failure-injected run
+-------------------------------------
+Failures can strike during compute, during a checkpoint write, or during a
+recovery.  Under *exact* schemes (traditional/lossless) a restore is
+bit-for-bit, so the numerical trajectory is unaffected and a failure is a
+pure time cost: recovery read + re-execution ("rollback") of the compute
+done since the last complete checkpoint; a checkpoint that was already due
+when the failure struck is retaken immediately after the rollback (it is
+not pushed out a full interval).  Under the *lossy* scheme the solve is
+interrupted, the decompressed iterate becomes the new initial guess, and the
+extra iterations N' are measured, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.checkpoint.multilevel import MultilevelCheckpointStore, MultilevelPolicy
+from repro.cluster.machine import ClusterModel
+from repro.compression.base import CompressedBlob
+from repro.engine.events import (
+    CheckpointDiscardedEvent,
+    CheckpointTakenEvent,
+    ComputeEvent,
+    EventLog,
+    FailureHitEvent,
+    GiveUpEvent,
+    RecoveryEvent,
+    RollbackEvent,
+)
+from repro.engine.report import BaselineRun, FTRunReport, run_failure_free
+from repro.engine.scenario import DEFAULT_SCENARIO, Scenario
+from repro.solvers.base import (
+    IterationState,
+    IterativeSolver,
+    ResumeState,
+    SolverInterrupt,
+)
+from repro.utils.rng import SeedLike
+from repro.utils.timing import VirtualClock
+from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep the package acyclic
+    from repro.core.scale import ExperimentScale
+    from repro.core.schemes import CheckpointingScheme
+
+__all__ = ["FaultToleranceEngine", "CheckpointRecord", "EngineState"]
+
+#: How many times an interrupted recovery/rollback phase restarts before the
+#: engine forces one final uninterrupted attempt (keeps pathological seeds
+#: terminating while leaving the time accounting of a *finished* phase).
+RECOVERY_RETRY_BUDGET = 16
+
+
+class _FailureSignal(SolverInterrupt):
+    """Internal interrupt raised by the compute handler when a failure hits."""
+
+
+@dataclass
+class CheckpointRecord:
+    """One complete checkpoint on the virtual timeline."""
+
+    checkpoint_id: int
+    iteration: int
+    x_blob: CompressedBlob
+    resume_state: Optional[ResumeState]
+    compression_ratio: float
+    model_uncompressed_bytes: float
+    model_compressed_bytes: float
+    #: Cumulative compute seconds when this checkpoint completed — the anchor
+    #: for computing rollback work when a multilevel recovery falls back here.
+    compute_seconds_at_completion: float
+    #: FTI level the payload was written to (None under PFS-only scenarios).
+    level: Optional[int] = None
+
+
+@dataclass
+class EngineState:
+    """Explicit mutable state of one run (replaces the old dict closure)."""
+
+    next_checkpoint_due: float
+    last_checkpoint: Optional[CheckpointRecord] = None
+    #: All live checkpoints by id — only populated under multilevel scenarios,
+    #: where a failure may destroy recent cheap-level checkpoints and the
+    #: recovery falls back to an older survivor.
+    records: Dict[int, CheckpointRecord] = field(default_factory=dict)
+    #: Compute-category seconds of solver progress since the last complete
+    #: checkpoint — this (not wall-clock time) is what has to be re-executed
+    #: after a failure under an exact scheme.
+    compute_since_checkpoint: float = 0.0
+    compute_seconds_total: float = 0.0
+    num_checkpoints: int = 0
+    num_inline_failures: int = 0
+    compression_ratios: List[float] = field(default_factory=list)
+    checkpoint_times: List[float] = field(default_factory=list)
+    recovery_times: List[float] = field(default_factory=list)
+    residual_trace: List[Tuple[int, float]] = field(default_factory=list)
+    interrupted_at: Optional[int] = None
+    gave_up: bool = False
+    give_up_reason: Optional[str] = None
+
+
+class FaultToleranceEngine:
+    """Execute one solver under one checkpointing scheme with injected failures.
+
+    Parameters
+    ----------
+    solver:
+        A configured :class:`~repro.solvers.base.IterativeSolver`.
+    b:
+        Right-hand side.
+    scheme:
+        The checkpointing scheme (traditional / lossless / lossy).
+    cluster:
+        Cluster time model (already set to the desired process count).
+    scale:
+        Paper-scale problem description used to convert measured compression
+        ratios into modeled checkpoint bytes.
+    mtti_seconds:
+        Mean time to interruption for the injected failures; ``None`` disables
+        failures.
+    checkpoint_interval_seconds:
+        Virtual seconds between checkpoints.  When None it is derived from
+        Young's formula using ``estimated_checkpoint_seconds``.
+    estimated_checkpoint_seconds:
+        A priori estimate of one checkpoint's cost (as the paper does, from
+        the fixed-frequency characterization runs of Section 5.3); required
+        when ``checkpoint_interval_seconds`` is None.
+    method:
+        Name used for iteration-time calibration; defaults to ``solver.name``.
+    baseline:
+        Failure-free reference; computed on demand when omitted.
+    max_restarts:
+        Safety cap on the number of failure recoveries before giving up.
+    scenario:
+        Failure-model × recovery-level regime; defaults to the paper's
+        (Poisson arrivals, PFS-only recovery).
+    multilevel_policy:
+        Level cycle/cost/survival table for ``fti`` scenarios; the FTI-like
+        default cycle is used when omitted.
+    record_events:
+        Keep an :class:`~repro.engine.events.EventLog` of the run (off by
+        default — one event per iteration).
+    """
+
+    def __init__(
+        self,
+        solver: IterativeSolver,
+        b: np.ndarray,
+        scheme: "CheckpointingScheme",
+        *,
+        cluster: Optional[ClusterModel] = None,
+        scale: Optional["ExperimentScale"] = None,
+        mtti_seconds: Optional[float] = 3600.0,
+        checkpoint_interval_seconds: Optional[float] = None,
+        estimated_checkpoint_seconds: Optional[float] = None,
+        iteration_seconds: Optional[float] = None,
+        method: Optional[str] = None,
+        baseline: Optional[BaselineRun] = None,
+        x0: Optional[np.ndarray] = None,
+        seed: SeedLike = None,
+        max_restarts: int = 1000,
+        max_total_iterations: Optional[int] = None,
+        scenario: Optional[Scenario] = None,
+        multilevel_policy: Optional[MultilevelPolicy] = None,
+        record_events: bool = False,
+    ) -> None:
+        from repro.core.model import young_interval
+        from repro.core.scale import ExperimentScale
+
+        self.solver = solver
+        self.b = np.asarray(b, dtype=np.float64)
+        self.scheme = scheme
+        self.cluster = cluster or ClusterModel()
+        self.scale = scale or ExperimentScale(
+            num_processes=self.cluster.num_processes, grid_n=2160
+        )
+        self.mtti_seconds = mtti_seconds
+        self.method = method or solver.name
+        self.iteration_seconds = (
+            check_positive(iteration_seconds, "iteration_seconds")
+            if iteration_seconds is not None
+            else self.cluster.iteration_time(self.method)
+        )
+        if checkpoint_interval_seconds is None:
+            if estimated_checkpoint_seconds is None:
+                raise ValueError(
+                    "provide either checkpoint_interval_seconds or "
+                    "estimated_checkpoint_seconds (to apply Young's formula)"
+                )
+            if mtti_seconds is None:
+                raise ValueError(
+                    "Young's formula needs a finite MTTI; pass "
+                    "checkpoint_interval_seconds explicitly for failure-free runs"
+                )
+            checkpoint_interval_seconds = young_interval(
+                estimated_checkpoint_seconds, mtti_seconds
+            )
+        self.checkpoint_interval_seconds = check_positive(
+            checkpoint_interval_seconds, "checkpoint_interval_seconds"
+        )
+        self.x0 = (
+            np.zeros(self.solver.n, dtype=np.float64)
+            if x0 is None
+            else np.asarray(x0, dtype=np.float64).copy()
+        )
+        self.seed = seed
+        self.baseline = baseline
+        self.max_restarts = int(max_restarts)
+        self.max_total_iterations = max_total_iterations
+        self.b_norm = float(np.linalg.norm(self.b))
+        self.scenario = scenario or DEFAULT_SCENARIO
+        self.multilevel_policy = multilevel_policy
+        self.record_events = bool(record_events)
+        self.events: Optional[EventLog] = None
+        # Per-run working attributes (set up in run()).
+        self._clock: VirtualClock = VirtualClock()
+        self._injector = None
+        self._store: Optional[MultilevelCheckpointStore] = None
+        self._state: EngineState = EngineState(
+            next_checkpoint_due=self.checkpoint_interval_seconds
+        )
+        self._vectors: int = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> FTRunReport:
+        """Execute the failure-injected run and return its report."""
+        if self.baseline is None:
+            self.baseline = run_failure_free(self.solver, self.b, x0=self.x0)
+
+        clock = self._clock = VirtualClock()
+        self._injector = self.scenario.build_injector(self.mtti_seconds, self.seed)
+        self._store = self.scenario.build_multilevel_store(
+            self.seed, policy=self.multilevel_policy
+        )
+        self._vectors = self.scheme.dynamic_vector_count(self.solver)
+        self.events = EventLog() if self.record_events else None
+        state = self._state = EngineState(
+            next_checkpoint_due=self.checkpoint_interval_seconds
+        )
+
+        x_current = self.x0.copy()
+        resume: Optional[ResumeState] = None
+        iteration_offset = 0
+        restarts_from_scratch = 0
+        converged = False
+        total_iterations = 0
+        restarts = 0
+
+        while True:
+            interrupted = False
+            try:
+                result = self._solve_once(x_current, resume, iteration_offset)
+            except _FailureSignal:
+                interrupted = True
+                result = None
+
+            if not interrupted and result is not None:
+                total_iterations = iteration_offset + result.iterations
+                converged = result.converged
+                if (
+                    not converged
+                    and self.max_total_iterations is not None
+                    and total_iterations >= self.max_total_iterations
+                ):
+                    # The iteration budget — not the solver — ended the run.
+                    state.gave_up = True
+                    state.give_up_reason = "max_total_iterations"
+                    self._record(
+                        GiveUpEvent(
+                            time=clock.now,
+                            reason="max_total_iterations",
+                            iterations_reached=total_iterations,
+                        )
+                    )
+                break
+
+            # ---- failure path: recover from the last complete checkpoint ----
+            restarts += 1
+            if restarts > self.max_restarts:
+                # Give up — but report the progress actually made instead of
+                # a stale zero (the interrupted iteration is the furthest
+                # point the timeline reached).
+                state.gave_up = True
+                state.give_up_reason = "max_restarts"
+                total_iterations = (
+                    int(state.interrupted_at)
+                    if state.interrupted_at is not None
+                    else iteration_offset
+                )
+                self._record(
+                    GiveUpEvent(
+                        time=clock.now,
+                        reason="max_restarts",
+                        iterations_reached=total_iterations,
+                    )
+                )
+                break
+            self._apply_survival()
+            last = state.last_checkpoint
+            recovery_seconds = self._recovery_seconds(last)
+            self._advance_with_failures(recovery_seconds, "recovery")
+            state.recovery_times.append(recovery_seconds)
+            self._record(
+                RecoveryEvent(
+                    time=clock.now,
+                    seconds=recovery_seconds,
+                    from_iteration=0 if last is None else last.iteration,
+                    from_scratch=last is None,
+                    level=None if last is None else last.level,
+                )
+            )
+
+            if last is None:
+                # No checkpoint survived (or none was taken yet): restart
+                # from the initial guess.
+                x_current = self.x0.copy()
+                resume = None
+                iteration_offset = 0
+                restarts_from_scratch += 1
+            else:
+                compressor = self.scheme.compressor()
+                x_current = np.asarray(
+                    compressor.decompress(last.x_blob), dtype=np.float64
+                )
+                iteration_offset = last.iteration
+                resume = (
+                    last.resume_state if self.scheme.checkpoint_krylov_state else None
+                )
+            if (
+                self.max_total_iterations is not None
+                and iteration_offset >= self.max_total_iterations
+            ):
+                state.gave_up = True
+                state.give_up_reason = "max_total_iterations"
+                total_iterations = iteration_offset
+                self._record(
+                    GiveUpEvent(
+                        time=clock.now,
+                        reason="max_total_iterations",
+                        iterations_reached=total_iterations,
+                    )
+                )
+                break
+
+        return self._build_report(converged, total_iterations, restarts_from_scratch)
+
+    # -- event handlers ------------------------------------------------------
+    def _on_compute(self, it_state: IterationState) -> None:
+        """Compute event: one solver iteration on the virtual timeline.
+
+        May synthesize a failure event (inline recovery for exact schemes, a
+        solve interrupt for the lossy scheme) and/or a checkpoint event.
+        """
+        clock = self._clock
+        state = self._state
+        start = clock.now
+        clock.advance(self.iteration_seconds, "compute")
+        state.compute_since_checkpoint += self.iteration_seconds
+        state.compute_seconds_total += self.iteration_seconds
+        state.residual_trace.append((it_state.iteration, it_state.residual_norm))
+        self._record(
+            ComputeEvent(
+                time=clock.now,
+                iteration=it_state.iteration,
+                seconds=self.iteration_seconds,
+                residual_norm=it_state.residual_norm,
+            )
+        )
+        failure_time = self._injector.failure_in(start, clock.now)
+        if failure_time is not None:
+            if self.scheme.lossy:
+                event = self._injector.consume(failure_time, "compute")
+                self._record(
+                    FailureHitEvent(
+                        time=failure_time, phase="compute", index=event.index
+                    )
+                )
+                state.interrupted_at = it_state.iteration
+                raise _FailureSignal(it_state.iteration, "failure during compute")
+            self._on_inline_failure(failure_time, "compute")
+        if clock.now >= state.next_checkpoint_due and self._checkpoint_allowed(
+            it_state, overdue_seconds=clock.now - state.next_checkpoint_due
+        ):
+            self._on_checkpoint(it_state)
+
+    def _on_inline_failure(self, failure_time: float, phase: str) -> None:
+        """Exact-scheme failure: pure time cost (recovery + rollback).
+
+        Traditional and lossless checkpoints restore the solver state
+        bit-for-bit, so the numerical trajectory is unaffected — the failure
+        only costs the recovery read plus re-execution of the work done since
+        the last complete checkpoint.  The solve itself is not interrupted
+        (its re-execution would reproduce the same iterates).
+
+        A checkpoint that was already *due* when the failure struck is not
+        silently dropped: the due time is left at "now", so the checkpoint is
+        retaken at the first opportunity after the rollback instead of a full
+        interval later (high failure rates would otherwise stretch the
+        effective interval far past Young's optimum).
+        """
+        clock = self._clock
+        state = self._state
+        event = self._injector.consume(failure_time, phase)
+        self._record(FailureHitEvent(time=failure_time, phase=phase, index=event.index))
+        state.num_inline_failures += 1
+        checkpoint_was_due = clock.now >= state.next_checkpoint_due
+        self._apply_survival()
+        last = state.last_checkpoint
+        recovery_seconds = self._recovery_seconds(last)
+        self._advance_with_failures(recovery_seconds, "recovery")
+        state.recovery_times.append(recovery_seconds)
+        self._record(
+            RecoveryEvent(
+                time=clock.now,
+                seconds=recovery_seconds,
+                from_iteration=0 if last is None else last.iteration,
+                from_scratch=last is None,
+                level=None if last is None else last.level,
+            )
+        )
+        rollback_seconds = state.compute_since_checkpoint
+        self._advance_with_failures(rollback_seconds, "rollback")
+        self._record(RollbackEvent(time=clock.now, seconds=rollback_seconds))
+        if checkpoint_was_due:
+            state.next_checkpoint_due = clock.now
+        else:
+            state.next_checkpoint_due = clock.now + self.checkpoint_interval_seconds
+
+    def _on_checkpoint(self, it_state: IterationState) -> None:
+        """Checkpoint event: compress the state, advance the modeled cost.
+
+        A failure landing inside the checkpoint window discards the
+        incomplete checkpoint (the previous complete one remains valid);
+        under the lossy scheme it also interrupts the solve, matching the
+        paper's methodology where failures may occur during the
+        checkpoint/recovery period.
+        """
+        clock = self._clock
+        state = self._state
+        compressor = self.scheme.checkpoint_compressor(
+            residual_norm=it_state.residual_norm, b_norm=self.b_norm
+        )
+        x_blob = compressor.compress(it_state.x)
+        ratio = x_blob.compression_ratio
+
+        model_uncompressed = self.scale.vector_bytes * self._vectors
+        model_compressed = model_uncompressed / max(ratio, 1e-12)
+        level: Optional[int] = None
+        write_multiplier = 1.0
+        if self._store is not None:
+            next_level = self._store.next_level()
+            level = int(next_level)
+            write_multiplier = self._store.policy.cost_multiplier[next_level]
+        ckpt_seconds = self.cluster.checkpoint_seconds(
+            model_uncompressed,
+            model_compressed,
+            compressed=self.scheme.uses_compression,
+            write_cost_multiplier=write_multiplier,
+        )
+
+        start = clock.now
+        clock.advance(ckpt_seconds, "checkpoint")
+        state.checkpoint_times.append(ckpt_seconds)
+        failure_time = self._injector.failure_in(start, clock.now)
+        if failure_time is not None:
+            # Incomplete checkpoint: do not record it.
+            self._record(
+                CheckpointDiscardedEvent(time=clock.now, iteration=it_state.iteration)
+            )
+            if self.scheme.lossy:
+                event = self._injector.consume(failure_time, "checkpoint")
+                self._record(
+                    FailureHitEvent(
+                        time=failure_time, phase="checkpoint", index=event.index
+                    )
+                )
+                state.interrupted_at = it_state.iteration
+                state.next_checkpoint_due = (
+                    clock.now + self.checkpoint_interval_seconds
+                )
+                raise _FailureSignal(
+                    it_state.iteration, "failure during checkpoint"
+                )
+            self._on_inline_failure(failure_time, "checkpoint")
+            return
+
+        resume = (
+            self.solver.capture_resume_state(it_state)
+            if self.scheme.checkpoint_krylov_state
+            else None
+        )
+        record = CheckpointRecord(
+            checkpoint_id=state.num_checkpoints,
+            iteration=it_state.iteration,
+            x_blob=x_blob,
+            resume_state=resume,
+            compression_ratio=ratio,
+            model_uncompressed_bytes=model_uncompressed,
+            model_compressed_bytes=model_compressed,
+            compute_seconds_at_completion=state.compute_seconds_total,
+            level=level,
+        )
+        if self._store is not None:
+            self._store.write(record.checkpoint_id, x_blob.payload)
+            record.level = int(self._store.level_of(record.checkpoint_id))
+            state.records[record.checkpoint_id] = record
+            self._prune_unreachable_records()
+        state.last_checkpoint = record
+        state.num_checkpoints += 1
+        state.compression_ratios.append(ratio)
+        state.compute_since_checkpoint = 0.0
+        state.next_checkpoint_due = clock.now + self.checkpoint_interval_seconds
+        self._record(
+            CheckpointTakenEvent(
+                time=clock.now,
+                iteration=it_state.iteration,
+                seconds=ckpt_seconds,
+                compression_ratio=ratio,
+                level=record.level,
+            )
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _callback(self, it_state: IterationState) -> None:
+        self._on_compute(it_state)
+
+    def _checkpoint_allowed(
+        self, it_state: IterationState, *, overdue_seconds: float = 0.0
+    ) -> bool:
+        """Whether a checkpoint may be taken at this iteration.
+
+        Under the lossy scheme a recovery restarts the Krylov method from the
+        checkpointed iterate, so the checkpoint is deferred to the method's
+        natural restart boundary when the solver reports one (GMRES(k) cycle
+        ends).  At paper scale the deferral is at most ``k`` iterations —
+        negligible against the checkpoint interval — and it avoids throwing
+        away a partially built Krylov cycle on every recovery.  If the
+        deferral has already cost more than a quarter of the checkpoint
+        interval (only possible on very small local problems, where a cycle is
+        a large fraction of the whole run) the checkpoint is taken anyway.
+        """
+        if not self.scheme.lossy:
+            return True
+        if "cycle_end" in it_state.extras:
+            if bool(it_state.extras["cycle_end"]) or bool(
+                it_state.extras.get("converged", False)
+            ):
+                return True
+            return overdue_seconds > 0.25 * self.checkpoint_interval_seconds
+        return True
+
+    def _solve_once(self, x_current, resume, iteration_offset):
+        remaining = None
+        if self.max_total_iterations is not None:
+            remaining = max(1, self.max_total_iterations - iteration_offset)
+        return self.solver.solve(
+            self.b,
+            x0=x_current,
+            callback=self._callback,
+            iteration_offset=iteration_offset,
+            max_iter=remaining,
+            resume_state=resume,
+        )
+
+    def _apply_survival(self) -> None:
+        """Draw which multilevel checkpoints survived the failure just hit.
+
+        PFS-only scenarios keep every checkpoint (no-op).  Under ``fti``
+        scenarios each stored checkpoint survives with its level's
+        probability; newer casualties are discarded and the engine falls back
+        to the newest survivor — rebasing the rollback anchor so the extra
+        lost compute is re-executed too.
+        """
+        state = self._state
+        if self._store is None or not state.records:
+            return
+        survivor_id = self._store.surviving_id()
+        if (
+            survivor_id is not None
+            and state.last_checkpoint is not None
+            and survivor_id == state.last_checkpoint.checkpoint_id
+        ):
+            return
+        for checkpoint_id in sorted(state.records):
+            if survivor_id is None or checkpoint_id > survivor_id:
+                self._store.delete(checkpoint_id)
+        state.records = {
+            checkpoint_id: record
+            for checkpoint_id, record in state.records.items()
+            if survivor_id is not None and checkpoint_id <= survivor_id
+        }
+        new_last = (
+            state.records.get(survivor_id) if survivor_id is not None else None
+        )
+        state.last_checkpoint = new_last
+        anchor = 0.0 if new_last is None else new_last.compute_seconds_at_completion
+        state.compute_since_checkpoint = state.compute_seconds_total - anchor
+
+    def _prune_unreachable_records(self) -> None:
+        """Drop checkpoints no survival draw can ever return.
+
+        ``surviving_id`` scans newest-first and always stops at a checkpoint
+        whose level survives with certainty (PFS in the default policy), so
+        anything older than the newest certain survivor is unreachable as a
+        fallback — and never drawn for, so pruning does not perturb the
+        survival RNG stream.  This bounds retention at one level cycle
+        instead of growing with run length.
+        """
+        from repro.checkpoint.multilevel import CheckpointLevel
+
+        state = self._state
+        survival = self._store.policy.survival_probability
+        certain = [
+            checkpoint_id
+            for checkpoint_id, record in state.records.items()
+            if survival[CheckpointLevel(record.level)] >= 1.0
+        ]
+        if not certain:
+            return
+        newest_certain = max(certain)
+        for checkpoint_id in sorted(state.records):
+            if checkpoint_id < newest_certain:
+                self._store.delete(checkpoint_id)
+                del state.records[checkpoint_id]
+
+    def _recovery_seconds(self, last: Optional[CheckpointRecord]) -> float:
+        if last is None:
+            # Nothing to read back: only the environment and static data are
+            # rebuilt before restarting from the initial guess.
+            return self.cluster.recovery_seconds(
+                0.0, 0.0, static_bytes=self.scale.static_bytes, compressed=False
+            )
+        read_multiplier = 1.0
+        if last.level is not None and self._store is not None:
+            from repro.checkpoint.multilevel import CheckpointLevel
+
+            read_multiplier = self._store.policy.cost_multiplier[
+                CheckpointLevel(last.level)
+            ]
+        return self.cluster.recovery_seconds(
+            last.model_uncompressed_bytes,
+            last.model_compressed_bytes,
+            static_bytes=self.scale.static_bytes,
+            compressed=self.scheme.uses_compression,
+            read_cost_multiplier=read_multiplier,
+        )
+
+    def _advance_with_failures(self, seconds: float, category: str) -> None:
+        """Advance the clock by ``seconds``, restarting the phase if a failure hits.
+
+        A failure during recovery forces the recovery to start over, bounded
+        by :data:`RECOVERY_RETRY_BUDGET` to keep pathological seeds
+        terminating.  When the budget is exhausted one final *uninterrupted*
+        advance is performed, so the phase genuinely completes and the time
+        accounting matches a finished phase (the old runner treated the last
+        interrupted attempt as complete).
+        """
+        clock = self._clock
+        for _ in range(RECOVERY_RETRY_BUDGET):
+            start = clock.now
+            clock.advance(seconds, category)
+            failure_time = self._injector.failure_in(start, clock.now)
+            if failure_time is None:
+                return
+            event = self._injector.consume(failure_time, category)
+            self._record(
+                FailureHitEvent(time=failure_time, phase=category, index=event.index)
+            )
+        clock.advance(seconds, category)
+
+    def _record(self, event) -> None:
+        if self.events is not None:
+            self.events.append(event)
+
+    def _build_report(
+        self, converged: bool, total_iterations: int, restarts_from_scratch: int
+    ) -> FTRunReport:
+        clock = self._clock
+        state = self._state
+        total_ckpt_seconds = clock.time_in("checkpoint")
+        total_recovery_seconds = clock.time_in("recovery")
+        productive_seconds = self.baseline.iterations * self.iteration_seconds
+        ratios = state.compression_ratios or [1.0]
+        info: Dict[str, object] = {
+            "iteration_seconds": self.iteration_seconds,
+            "num_processes": self.cluster.num_processes,
+            "mtti_seconds": self.mtti_seconds,
+            "dynamic_vectors": self._vectors,
+        }
+        if not self.scenario.is_default:
+            info["failure_model"] = self.scenario.failure_model
+            info["recovery_levels"] = self.scenario.recovery_levels
+        if state.gave_up:
+            info["gave_up"] = True
+            info["give_up_reason"] = state.give_up_reason
+        return FTRunReport(
+            scheme=self.scheme.name,
+            method=self.method,
+            converged=converged,
+            total_iterations=total_iterations,
+            baseline_iterations=self.baseline.iterations,
+            num_failures=self._injector.count,
+            num_checkpoints=state.num_checkpoints,
+            num_restarts_from_scratch=restarts_from_scratch,
+            total_seconds=clock.now,
+            productive_seconds=productive_seconds,
+            checkpoint_seconds=total_ckpt_seconds,
+            recovery_seconds=total_recovery_seconds,
+            checkpoint_interval_seconds=self.checkpoint_interval_seconds,
+            mean_checkpoint_seconds=float(np.mean(state.checkpoint_times))
+            if state.checkpoint_times
+            else 0.0,
+            mean_recovery_seconds=float(np.mean(state.recovery_times))
+            if state.recovery_times
+            else 0.0,
+            mean_compression_ratio=float(np.mean(ratios)),
+            residual_trace=list(state.residual_trace),
+            info=info,
+        )

@@ -1,0 +1,120 @@
+"""Typed events of the fault-tolerance engine's virtual timeline.
+
+The engine narrates one failure-injected run as a sequence of discrete
+events — compute, checkpoint, failure, recovery, rollback, give-up — each
+stamped with the virtual time at which it *completed*.  The
+:class:`EventLog` is the engine's replacement for "print-debugging a dict
+closure": tests assert on exact event orderings (e.g. that an overdue
+checkpoint is retaken immediately after a rollback), and scenario studies
+can reconstruct the full timeline from it.
+
+Recording is opt-in (``FaultToleranceEngine(record_events=True)``): a
+paper-scale run emits one compute event per iteration, so the default keeps
+the hot loop allocation-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Type, TypeVar
+
+__all__ = [
+    "EngineEvent",
+    "ComputeEvent",
+    "CheckpointTakenEvent",
+    "CheckpointDiscardedEvent",
+    "FailureHitEvent",
+    "RecoveryEvent",
+    "RollbackEvent",
+    "GiveUpEvent",
+    "EventLog",
+]
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """Base class: ``time`` is the virtual time the event completed."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class ComputeEvent(EngineEvent):
+    """One solver iteration advanced the timeline by ``seconds``."""
+
+    iteration: int
+    seconds: float
+    residual_norm: float
+
+
+@dataclass(frozen=True)
+class CheckpointTakenEvent(EngineEvent):
+    """A checkpoint completed (and became the newest recovery point)."""
+
+    iteration: int
+    seconds: float
+    compression_ratio: float
+    level: Optional[int] = None  # CheckpointLevel value under multilevel runs
+
+
+@dataclass(frozen=True)
+class CheckpointDiscardedEvent(EngineEvent):
+    """A failure landed inside the checkpoint window; the write was discarded."""
+
+    iteration: int
+
+
+@dataclass(frozen=True)
+class FailureHitEvent(EngineEvent):
+    """An injected failure struck during ``phase``."""
+
+    phase: str
+    index: int
+
+
+@dataclass(frozen=True)
+class RecoveryEvent(EngineEvent):
+    """A recovery (read + decompress + static rebuild) completed."""
+
+    seconds: float
+    from_iteration: int  # 0 when restarting from scratch
+    from_scratch: bool
+    level: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RollbackEvent(EngineEvent):
+    """Re-execution of the compute lost since the restored checkpoint."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class GiveUpEvent(EngineEvent):
+    """The run abandoned before convergence (restart/iteration cap)."""
+
+    reason: str
+    iterations_reached: int
+
+
+E = TypeVar("E", bound=EngineEvent)
+
+
+@dataclass
+class EventLog:
+    """Append-only record of engine events, in dispatch order."""
+
+    events: List[EngineEvent] = field(default_factory=list)
+
+    def append(self, event: EngineEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: Type[E]) -> List[E]:
+        """All recorded events of one type, in order."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def __iter__(self) -> Iterator[EngineEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,161 @@
+"""Failure/recovery scenarios — the engine's pluggable execution regime.
+
+A :class:`Scenario` names the two orthogonal knobs of Section 5.4's
+failure-injection methodology that the original runner hard-wired:
+
+* **failure model** — how failure inter-arrival times are drawn
+  (``poisson``, the paper's process; ``weibull`` infant-mortality
+  clustering; ``bursty`` correlated arrivals; see
+  :mod:`repro.cluster.failures`);
+* **recovery levels** — where checkpoints live and therefore what a
+  recovery costs: ``pfs`` always prices a parallel-file-system round trip
+  (the paper's L4-only setup), ``fti`` walks the FTI level cycle of
+  :class:`~repro.checkpoint.multilevel.MultilevelCheckpointStore`, so most
+  checkpoints are cheap local/partner copies that may not survive a failure
+  (falling back to an older, safer checkpoint costs extra rollback).
+
+The default scenario reproduces the paper byte-for-byte; the campaign grid
+exposes both knobs as axes (``failure_models`` × ``recovery_levels``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.checkpoint.multilevel import MultilevelCheckpointStore, MultilevelPolicy
+from repro.cluster.failures import FailureInjector, make_failure_model
+from repro.utils.rng import SeedLike, default_rng, derive_seed
+
+__all__ = [
+    "Scenario",
+    "FAILURE_MODELS",
+    "CAMPAIGN_FAILURE_MODELS",
+    "RECOVERY_LEVELS",
+    "DEFAULT_SCENARIO",
+]
+
+#: Failure-model names a scenario accepts.  ``scripted`` (failures at
+#: explicit virtual times, via ``failure_params=(("times", (...)),)``) is for
+#: deterministic studies and regression tests.
+FAILURE_MODELS = ("poisson", "weibull", "bursty", "scripted")
+
+#: The subset valid as a campaign-grid axis: campaign cells cannot carry the
+#: explicit times a scripted model needs, so accepting ``scripted`` there
+#: would silently cache failure-free runs as FT measurements.
+CAMPAIGN_FAILURE_MODELS = ("poisson", "weibull", "bursty")
+
+#: Recovery-level regimes a scenario (and the campaign grid) accepts.
+RECOVERY_LEVELS = ("pfs", "fti")
+
+_Params = Tuple[Tuple[str, object], ...]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One (failure model × recovery levels) execution regime.
+
+    ``failure_params`` are passed through to the failure-model constructor
+    (e.g. ``(("shape", 0.5),)`` for a harsher Weibull); kept as a tuple of
+    pairs so scenarios stay hashable and cache-key friendly.
+    """
+
+    failure_model: str = "poisson"
+    recovery_levels: str = "pfs"
+    failure_params: _Params = ()
+
+    def __post_init__(self) -> None:
+        if self.failure_model not in FAILURE_MODELS:
+            raise ValueError(
+                f"unknown failure model {self.failure_model!r}; "
+                f"known: {FAILURE_MODELS}"
+            )
+        if self.recovery_levels not in RECOVERY_LEVELS:
+            raise ValueError(
+                f"unknown recovery levels {self.recovery_levels!r}; "
+                f"known: {RECOVERY_LEVELS}"
+            )
+        object.__setattr__(
+            self, "failure_params", tuple((str(k), v) for k, v in self.failure_params)
+        )
+
+    @property
+    def is_default(self) -> bool:
+        """True for the paper's regime (Poisson arrivals, PFS-only recovery)."""
+        return (
+            self.failure_model == "poisson"
+            and self.recovery_levels == "pfs"
+            and not self.failure_params
+        )
+
+    @property
+    def multilevel(self) -> bool:
+        """True when checkpoints walk the FTI level cycle."""
+        return self.recovery_levels == "fti"
+
+    # -- factories -----------------------------------------------------------
+    def build_injector(
+        self, mtti_seconds: Optional[float], seed: SeedLike
+    ) -> FailureInjector:
+        """The failure injector for one run (disabled when ``mtti`` is None)."""
+        if mtti_seconds is None or mtti_seconds == float("inf"):
+            return FailureInjector(None, seed=seed)
+        if self.failure_model == "poisson" and not self.failure_params:
+            # Construct exactly what the pre-engine runner constructed so the
+            # RNG stream (and therefore every report byte) is unchanged.
+            return FailureInjector(mtti_seconds, seed=seed)
+        model = make_failure_model(
+            self.failure_model, mtti_seconds, **dict(self.failure_params)
+        )
+        return FailureInjector(mtti_seconds, seed=seed, model=model)
+
+    def build_multilevel_store(
+        self, seed: SeedLike, *, policy: Optional[MultilevelPolicy] = None
+    ) -> Optional[MultilevelCheckpointStore]:
+        """The multilevel store for one run (``None`` under PFS-only recovery).
+
+        The store's survival draws get their own stream derived from the run
+        seed so they do not perturb the failure-arrival stream.  Every
+        ``SeedLike`` flavour yields a distinct, reproducible child seed —
+        collapsing non-int seeds to one constant would correlate the
+        survival outcomes of supposedly independent runs.
+        """
+        if not self.multilevel:
+            return None
+        if seed is None:
+            store_seed: SeedLike = None  # fresh entropy, like the injector
+        elif isinstance(seed, (int, np.integer)):
+            store_seed = derive_seed(int(seed), "multilevel")
+        else:
+            # SeedSequence / Generator: draw one child seed from it (the
+            # injector owns its own draws, so the streams stay distinct).
+            store_seed = derive_seed(
+                int(default_rng(seed).integers(0, 2**63 - 1)), "multilevel"
+            )
+        return MultilevelCheckpointStore(policy, seed=store_seed)
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (campaign cells, report info)."""
+        return {
+            "failure_model": self.failure_model,
+            "recovery_levels": self.recovery_levels,
+            "failure_params": [[k, v] for k, v in self.failure_params],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output (or parsed JSON)."""
+        return cls(
+            failure_model=str(data.get("failure_model", "poisson")),
+            recovery_levels=str(data.get("recovery_levels", "pfs")),
+            failure_params=tuple(
+                (str(k), v) for k, v in data.get("failure_params", [])
+            ),
+        )
+
+
+#: The paper's regime: homogeneous Poisson failures, PFS-only recovery.
+DEFAULT_SCENARIO = Scenario()

@@ -20,6 +20,9 @@ from repro.solvers.base import (
     IterationState,
     ConvergenceCriterion,
     SolverInterrupt,
+    CheckpointSpec,
+    ResumeState,
+    checkpoint_spec_for,
     make_solver,
     register_solver,
     available_solvers,
@@ -40,6 +43,9 @@ __all__ = [
     "IterationState",
     "ConvergenceCriterion",
     "SolverInterrupt",
+    "CheckpointSpec",
+    "ResumeState",
+    "checkpoint_spec_for",
     "make_solver",
     "register_solver",
     "available_solvers",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, ClassVar, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +29,9 @@ __all__ = [
     "SolveResult",
     "SolverInterrupt",
     "IterativeSolver",
+    "CheckpointSpec",
+    "ResumeState",
+    "checkpoint_spec_for",
     "register_solver",
     "make_solver",
     "available_solvers",
@@ -121,6 +124,57 @@ class SolveResult:
         return self.final_residual_norm / self.b_norm
 
 
+@dataclass(frozen=True)
+class CheckpointSpec:
+    """What a solver declares about its checkpointable state.
+
+    This is the ``CheckpointableState`` protocol of the fault-tolerance
+    engine: instead of the engine special-casing solver classes, every solver
+    declares
+
+    * which full-length *extra* vectors (beyond the iterate ``x``) an exact
+      checkpoint must capture so the same Krylov sequence can be resumed
+      (CG: ``p``; BiCGSTAB: ``r``, ``r_hat``, ``p``, ``v``),
+    * which scalars ride along (CG: ``rho``; BiCGSTAB: ``rho_old``,
+      ``alpha``, ``omega``),
+    * whether the method can be resumed exactly at all, and
+    * whether exact resume is only available at restart-cycle boundaries
+      (GMRES(k): restarting from ``x`` at a cycle end *is* the exact
+      continuation, so no extra vectors are needed).
+
+    Stationary methods are memoryless (``x`` is the entire dynamic state), so
+    they declare exact resume with no extra vectors.  The modeled checkpoint
+    footprint of a scheme is derived from this declaration
+    (:meth:`repro.core.schemes.CheckpointingScheme.dynamic_vector_count`), so
+    Table 3's sizes always match what an exact checkpoint actually stores.
+    """
+
+    extra_vectors: Tuple[str, ...] = ()
+    scalars: Tuple[str, ...] = ()
+    exact_resume: bool = False
+    restart_boundary_only: bool = False
+
+    @property
+    def vector_count(self) -> int:
+        """Full-length vectors an exact checkpoint stores (``x`` included)."""
+        return 1 + len(self.extra_vectors)
+
+
+@dataclass
+class ResumeState:
+    """Exact-resume payload captured at a checkpoint.
+
+    ``vectors``/``scalars`` hold the entries named by the solver's
+    :class:`CheckpointSpec`; passing the state back to :meth:`IterativeSolver.
+    solve` via ``resume_state`` continues the interrupted Krylov sequence
+    (together with ``x0`` set to the checkpointed iterate).
+    """
+
+    iteration: int
+    vectors: Dict[str, np.ndarray] = field(default_factory=dict)
+    scalars: Dict[str, float] = field(default_factory=dict)
+
+
 class IterativeSolver(abc.ABC):
     """Base class for all iterative solvers.
 
@@ -135,6 +189,9 @@ class IterativeSolver(abc.ABC):
     """
 
     name: str = "abstract"
+    #: The solver's ``CheckpointableState`` declaration (see
+    #: :class:`CheckpointSpec`).  Subclasses override the class attribute.
+    checkpoint_spec: ClassVar[CheckpointSpec] = CheckpointSpec()
 
     def __init__(
         self,
@@ -165,13 +222,25 @@ class IterativeSolver(abc.ABC):
         callback: Optional[Callback] = None,
         max_iter: Optional[int] = None,
         iteration_offset: int = 0,
+        resume_state: Optional[ResumeState] = None,
     ) -> SolveResult:
         """Solve ``A x = b`` starting from ``x0`` (zero vector by default).
 
         ``iteration_offset`` shifts the iteration indices reported to the
         callback and in the result — used by the fault-tolerance runner so a
         restarted solve keeps counting from where the failed one stopped.
+
+        ``resume_state`` (captured earlier by :meth:`capture_resume_state`)
+        continues the exact iteration sequence from a checkpoint; solvers
+        whose :attr:`checkpoint_spec` declares no extra state treat it as a
+        plain (re)start from ``x0``, which for them *is* the exact
+        continuation.  Solvers that do not support exact resume reject it.
         """
+        if resume_state is not None and not self.checkpoint_spec.exact_resume:
+            raise ValueError(
+                f"{type(self).__name__} does not support exact resume; its "
+                "checkpoint_spec declares exact_resume=False"
+            )
         b = check_vector(b, "b")
         if b.size != self.n:
             raise ValueError(f"b has length {b.size}, expected {self.n}")
@@ -184,8 +253,46 @@ class IterativeSolver(abc.ABC):
         limit = self.max_iter if max_iter is None else int(max_iter)
         if limit < 0:
             raise ValueError(f"max_iter must be >= 0, got {limit}")
-        return self._solve(
-            b, x0, callback=callback, max_iter=limit, iteration_offset=int(iteration_offset)
+        self._resume_state = resume_state
+        try:
+            return self._solve(
+                b,
+                x0,
+                callback=callback,
+                max_iter=limit,
+                iteration_offset=int(iteration_offset),
+            )
+        finally:
+            self._resume_state = None
+
+    def capture_resume_state(self, it_state: IterationState) -> Optional[ResumeState]:
+        """Capture the exact-resume state visible in one iteration snapshot.
+
+        Returns ``None`` when the solver does not support exact resume or the
+        snapshot is missing a declared entry (e.g. a GMRES iteration that is
+        not at a restart boundary).  Vector entries are defensively copied —
+        the returned state stays valid however long the checkpoint lives.
+        """
+        spec = self.checkpoint_spec
+        if not spec.exact_resume:
+            return None
+        if spec.restart_boundary_only and not bool(
+            it_state.extras.get("cycle_end", False)
+            or it_state.extras.get("converged", False)
+        ):
+            return None
+        vectors: Dict[str, np.ndarray] = {}
+        for name in spec.extra_vectors:
+            if name not in it_state.extras:
+                return None
+            vectors[name] = np.array(it_state.extras[name], dtype=np.float64, copy=True)
+        scalars: Dict[str, float] = {}
+        for name in spec.scalars:
+            if name not in it_state.extras:
+                return None
+            scalars[name] = float(it_state.extras[name])  # type: ignore[arg-type]
+        return ResumeState(
+            iteration=int(it_state.iteration), vectors=vectors, scalars=scalars
         )
 
     def residual_norm(self, b: np.ndarray, x: np.ndarray) -> float:
@@ -259,3 +366,20 @@ def make_solver(name: str, A, **kwargs) -> IterativeSolver:
 def available_solvers() -> List[str]:
     """Names of all registered solvers."""
     return sorted(_REGISTRY)
+
+
+def checkpoint_spec_for(method: str) -> CheckpointSpec:
+    """The :class:`CheckpointSpec` declared by the solver registered as ``method``.
+
+    Unknown names (or factories that are not solver classes) fall back to the
+    default spec — one vector (``x``), no exact resume — which matches how the
+    engine treats a solver with no declaration.
+    """
+    if method not in _REGISTRY:
+        # The registry fills as solver modules are imported; pull in the
+        # built-in ones so a name lookup does not depend on import order.
+        import repro.solvers  # noqa: F401
+
+    factory = _REGISTRY.get(method)
+    spec = getattr(factory, "checkpoint_spec", None)
+    return spec if isinstance(spec, CheckpointSpec) else CheckpointSpec()

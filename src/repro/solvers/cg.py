@@ -24,7 +24,9 @@ import numpy as np
 
 from repro.solvers.base import (
     Callback,
+    CheckpointSpec,
     IterativeSolver,
+    ResumeState,
     SolveResult,
     register_solver,
 )
@@ -36,6 +38,12 @@ class CGSolver(IterativeSolver):
     """Preconditioned conjugate gradient for SPD systems."""
 
     name = "cg"
+    #: Algorithm 1 checkpoints ``x`` *and* the direction vector ``p`` plus the
+    #: scalar ``rho`` so the same Krylov sequence resumes after a recovery
+    #: (the residual is recomputed from the restored iterate).
+    checkpoint_spec = CheckpointSpec(
+        extra_vectors=("p",), scalars=("rho",), exact_resume=True
+    )
 
     def solve(
         self,
@@ -46,19 +54,29 @@ class CGSolver(IterativeSolver):
         max_iter: Optional[int] = None,
         iteration_offset: int = 0,
         warm_start: Optional[Tuple[np.ndarray, float]] = None,
+        resume_state: Optional[ResumeState] = None,
     ) -> SolveResult:
-        """Solve ``A x = b``; see class docstring for ``warm_start`` semantics."""
-        self._warm_start = warm_start
-        try:
-            return super().solve(
-                b,
-                x0=x0,
-                callback=callback,
-                max_iter=max_iter,
-                iteration_offset=iteration_offset,
+        """Solve ``A x = b``; see class docstring for ``warm_start`` semantics.
+
+        ``warm_start=(p, rho)`` is the historical CG-specific spelling of the
+        generic ``resume_state`` protocol; passing both is rejected.
+        """
+        if warm_start is not None:
+            if resume_state is not None:
+                raise ValueError("pass either warm_start or resume_state, not both")
+            resume_state = ResumeState(
+                iteration=int(iteration_offset),
+                vectors={"p": np.array(warm_start[0], dtype=np.float64, copy=True)},
+                scalars={"rho": float(warm_start[1])},
             )
-        finally:
-            self._warm_start = None
+        return super().solve(
+            b,
+            x0=x0,
+            callback=callback,
+            max_iter=max_iter,
+            iteration_offset=iteration_offset,
+            resume_state=resume_state,
+        )
 
     def _solve(
         self,
@@ -79,12 +97,12 @@ class CGSolver(IterativeSolver):
         residual_norms = [res]
         converged = self.criterion.has_converged(res, b_norm)
 
-        warm_start = getattr(self, "_warm_start", None)
-        if warm_start is not None:
-            p = np.array(warm_start[0], dtype=np.float64, copy=True)
+        resume = getattr(self, "_resume_state", None)
+        if resume is not None:
+            p = np.array(resume.vectors["p"], dtype=np.float64, copy=True)
             if p.shape != x.shape:
                 raise ValueError("warm-start direction vector has the wrong shape")
-            rho = float(warm_start[1])
+            rho = float(resume.scalars["rho"])
             z = M.solve(r)
         else:
             z = M.solve(r)

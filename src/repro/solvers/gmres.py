@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.solvers.base import (
     Callback,
+    CheckpointSpec,
     IterativeSolver,
     SolveResult,
     register_solver,
@@ -39,6 +40,12 @@ class GMRESSolver(IterativeSolver):
     """
 
     name = "gmres"
+    #: GMRES(k) is naturally restarted: at a cycle boundary the entire
+    #: dynamic state is the iterate ``x`` — restarting from a checkpointed
+    #: ``x`` *is* the exact continuation, so no extra vectors are declared
+    #: and exact resume is only meaningful at restart boundaries (the engine
+    #: aligns lossy checkpoints to ``cycle_end`` for the same reason).
+    checkpoint_spec = CheckpointSpec(exact_resume=True, restart_boundary_only=True)
 
     def __init__(self, A, *, restart: int = 30, **kwargs) -> None:
         super().__init__(A, **kwargs)

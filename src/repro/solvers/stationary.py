@@ -20,6 +20,7 @@ import scipy.sparse.linalg as spla
 
 from repro.solvers.base import (
     Callback,
+    CheckpointSpec,
     IterativeSolver,
     SolveResult,
     register_solver,
@@ -33,6 +34,11 @@ class _StationarySolver(IterativeSolver):
 
     Subclasses implement :meth:`_sweep`, producing ``x_{i+1}`` from ``x_i``.
     """
+
+    #: Stationary methods are memoryless — the iterate ``x`` is the entire
+    #: dynamic state, so restarting from a checkpointed ``x`` is always the
+    #: exact continuation and no extra vectors are declared.
+    checkpoint_spec = CheckpointSpec(exact_resume=True)
 
     def __init__(self, A, **kwargs) -> None:
         # Stationary methods do not use a preconditioner; reject one if passed.

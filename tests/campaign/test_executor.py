@@ -50,6 +50,32 @@ class TestSerialExecution:
         again = run_campaign(demo_spec(), n_workers=1)
         assert CampaignReport(again).to_json() == CampaignReport(serial_result).to_json()
 
+    def test_scenario_cells_execute(self):
+        spec = CampaignSpec(
+            name="scenario-test",
+            kind="ft",
+            methods=("jacobi",),
+            schemes=("lossy",),
+            failure_models=("weibull",),
+            recovery_levels=("fti",),
+            grid_n=8,
+        )
+        outcome = run_campaign(spec, n_workers=1)
+        (result,) = outcome.results()
+        assert result["failure_model"] == "weibull"
+        assert result["recovery_levels"] == "fti"
+        assert result["report"]["info"]["failure_model"] == "weibull"
+        assert result["report"]["info"]["recovery_levels"] == "fti"
+        # Same coordinates, default scenario -> a different report.
+        default = run_campaign(
+            spec.__class__.from_dict(
+                {**spec.to_dict(), "failure_models": ["poisson"], "recovery_levels": ["pfs"]}
+            ),
+            n_workers=1,
+        )
+        (default_result,) = default.results()
+        assert default_result["report"] != result["report"]
+
 
 class TestParallelExecution:
     def test_parallel_matches_serial_byte_identically(self, serial_result):

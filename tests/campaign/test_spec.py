@@ -109,3 +109,80 @@ class TestCampaignSpec:
         spec = CampaignSpec(rtols=(("cg", 1e-9),))
         assert spec.rtol_for("cg") == 1e-9
         assert spec.rtol_for("jacobi") is None
+
+
+class TestScenarioAxis:
+    def test_runspec_rejects_unknown_scenario_coordinates(self):
+        with pytest.raises(ValueError, match="unknown failure model"):
+            RunSpec(failure_model="lognormal")
+        with pytest.raises(ValueError, match="unknown recovery levels"):
+            RunSpec(recovery_levels="tape")
+
+    def test_runspec_rejects_scripted_model(self):
+        # A cell cannot carry scripted failure times, so accepting the model
+        # name would silently cache failure-free runs as FT measurements.
+        with pytest.raises(ValueError, match="unknown failure model"):
+            RunSpec(failure_model="scripted")
+
+    def test_scenario_changes_cache_key(self):
+        base = RunSpec()
+        assert base.failure_model == "poisson"
+        assert base.recovery_levels == "pfs"
+        assert base.cache_key() != base.with_overrides(failure_model="weibull").cache_key()
+        assert base.cache_key() != base.with_overrides(recovery_levels="fti").cache_key()
+
+    def test_runspec_dict_without_scenario_keys_loads_default(self):
+        # Pre-scenario cached specs (CACHE_VERSION <= 2 era) still parse.
+        data = RunSpec().to_dict()
+        del data["failure_model"]
+        del data["recovery_levels"]
+        rebuilt = RunSpec.from_dict(data)
+        assert rebuilt.failure_model == "poisson"
+        assert rebuilt.recovery_levels == "pfs"
+
+    def test_grid_expands_scenario_axes(self):
+        spec = CampaignSpec(
+            methods=("jacobi",),
+            schemes=("lossy",),
+            failure_models=("poisson", "weibull", "bursty"),
+            recovery_levels=("pfs", "fti"),
+            repetitions=2,
+        )
+        cells = spec.expand()
+        assert len(cells) == 3 * 2 * 2
+        assert len(spec) == len(cells)
+        coords = {(c.failure_model, c.recovery_levels) for c in cells}
+        assert len(coords) == 6
+        assert len({cell.cache_key() for cell in cells}) == len(cells)
+
+    def test_default_scenario_keeps_historical_seeds(self):
+        # The scenario axis must not re-seed pre-scenario campaigns: a grid
+        # that pins the default scenario expands to exactly the same cells.
+        base = CampaignSpec(methods=("jacobi", "cg"), repetitions=3, seed=99)
+        pinned = CampaignSpec(
+            methods=("jacobi", "cg"),
+            repetitions=3,
+            seed=99,
+            failure_models=("poisson",),
+            recovery_levels=("pfs",),
+        )
+        assert base.expand() == pinned.expand()
+
+    def test_non_default_scenarios_get_distinct_seeds(self):
+        spec = CampaignSpec(
+            methods=("jacobi",),
+            failure_models=("poisson", "weibull"),
+            recovery_levels=("pfs", "fti"),
+        )
+        cells = spec.expand()
+        assert len({c.seed for c in cells}) == len(cells)
+
+    def test_json_round_trip_with_scenario_axes(self):
+        spec = CampaignSpec(
+            methods=("jacobi",),
+            failure_models=("weibull",),
+            recovery_levels=("fti",),
+        )
+        rebuilt = CampaignSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.expand() == spec.expand()

@@ -25,7 +25,10 @@ class TestFailureInjector:
         injector = FailureInjector(100.0, seed=0)
         t = injector.next_failure_time()
         assert injector.failure_in(t - 1.0, t + 1.0) == t
-        assert injector.failure_in(t + 1.0, t + 2.0) is None
+        # A pending failure at or before the window start is latent — it
+        # strikes in the first window that checks rather than sitting in the
+        # past forever.
+        assert injector.failure_in(t + 1.0, t + 2.0) == t
         assert injector.failure_in(0.0, t - 1.0) is None
 
     def test_consume_rearms(self):
@@ -55,3 +58,22 @@ class TestFailureInjector:
     def test_invalid_mtti(self):
         with pytest.raises(ValueError):
             FailureInjector(-1.0)
+
+    def test_latent_failure_strikes_in_next_window(self):
+        # A consume() can re-arm the next failure *inside* a phase whose full
+        # cost was already charged to the clock (interrupted attempts are
+        # billed whole).  Such a latent failure must strike in the next
+        # window that checks — the old strict `start < t` test left it in
+        # the past forever, silently disabling injection for the rest of
+        # the run.
+        from repro.cluster.failures import ScriptedFailureModel
+
+        injector = FailureInjector(model=ScriptedFailureModel([5.0, 7.0, 300.0]))
+        assert injector.failure_in(0.0, 10.0) == 5.0
+        injector.consume(5.0, "recovery")
+        # Re-armed at t=7, but the clock already sits at 10.
+        assert injector.next_failure_time() == 7.0
+        assert injector.failure_in(10.0, 20.0) == 7.0
+        injector.consume(7.0, "recovery")
+        assert injector.failure_in(20.0, 30.0) is None
+        assert injector.failure_in(250.0, 350.0) == 300.0

@@ -51,6 +51,28 @@ class TestSchemes:
         assert CheckpointingScheme.lossy(1e-4).dynamic_vector_count("cg") == 1
         assert CheckpointingScheme.lossless().dynamic_vector_count("gmres") == 1
 
+    def test_dynamic_vector_count_derives_from_declared_state(self):
+        # BiCGSTAB's exact checkpoint stores x + r/r_hat/p/v (its full
+        # recurrence), not the hard-coded 2 the old table claimed.
+        assert CheckpointingScheme.traditional().dynamic_vector_count("bicgstab") == 5
+        assert CheckpointingScheme.lossy(1e-4).dynamic_vector_count("bicgstab") == 1
+        # Unknown methods fall back to one vector.
+        assert CheckpointingScheme.traditional().dynamic_vector_count("kkt") == 1
+
+    def test_dynamic_vector_count_accepts_solver_instances(self, poisson_small):
+        from repro.solvers import BiCGStabSolver, CGSolver, JacobiSolver
+
+        scheme = CheckpointingScheme.traditional()
+        assert scheme.dynamic_vector_count(CGSolver(poisson_small.A)) == 2
+        assert scheme.dynamic_vector_count(BiCGStabSolver(poisson_small.A)) == 5
+        assert scheme.dynamic_vector_count(JacobiSolver(poisson_small.A)) == 1
+        # Name-based and instance-based lookups agree (the engine passes the
+        # solver, the table-3 model passes the name).
+        for name, cls in (("cg", CGSolver), ("bicgstab", BiCGStabSolver)):
+            assert scheme.dynamic_vector_count(name) == scheme.dynamic_vector_count(
+                cls(poisson_small.A)
+            )
+
     def test_adaptive_policy_changes_bound(self):
         scheme = CheckpointingScheme.lossy(1e-4, adaptive=True)
         loose = scheme.checkpoint_compressor(residual_norm=1e-1, b_norm=1.0)

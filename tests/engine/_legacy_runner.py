@@ -1,0 +1,427 @@
+"""Frozen pre-refactor ``FaultTolerantRunner`` — the equivalence reference.
+
+This is a verbatim copy of the dict-closure state machine that
+``src/repro/core/runner.py`` contained before the discrete-event engine
+refactor, with exactly the three accounting bugfixes of the same PR applied
+(give-up paths report real progress + ``gave_up`` flag; an overdue
+checkpoint is retaken after a failure's rollback instead of being pushed out
+a full interval; an exhausted recovery-retry budget performs one final
+uninterrupted advance).  It deliberately keeps the ``isinstance(...,
+CGSolver)`` special cases and the mutable ``state`` dict that the engine
+eliminated.
+
+The engine-equivalence suite runs this implementation side by side with
+:class:`repro.engine.core.FaultToleranceEngine` over a (scheme × solver ×
+seed) grid and asserts byte-identical ``FTRunReport.to_json()`` output for
+the default Poisson/PFS scenario.  Do not "improve" this file — its value is
+that it does not change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.failures import FailureInjector
+from repro.cluster.machine import ClusterModel
+from repro.compression.base import CompressedBlob
+from repro.core.model import young_interval
+from repro.core.runner import BaselineRun, FTRunReport, run_failure_free
+from repro.core.scale import ExperimentScale
+from repro.core.schemes import CheckpointingScheme
+from repro.solvers.base import IterationState, IterativeSolver, SolverInterrupt
+from repro.solvers.cg import CGSolver
+from repro.utils.rng import SeedLike
+from repro.utils.timing import VirtualClock
+from repro.utils.validation import check_positive
+
+__all__ = ["LegacyFaultTolerantRunner"]
+
+
+@dataclass
+class _CheckpointState:
+    """The runner's in-memory record of the last complete checkpoint."""
+
+    iteration: int
+    x_blob: CompressedBlob
+    krylov_p: Optional[np.ndarray]
+    krylov_rho: Optional[float]
+    compression_ratio: float
+    model_uncompressed_bytes: float
+    model_compressed_bytes: float
+
+
+class _FailureSignal(SolverInterrupt):
+    """Internal interrupt raised by the runner's callback when a failure hits."""
+
+
+class LegacyFaultTolerantRunner:
+    """Pre-refactor runner: one solver, one scheme, injected failures."""
+
+    def __init__(
+        self,
+        solver: IterativeSolver,
+        b: np.ndarray,
+        scheme: CheckpointingScheme,
+        *,
+        cluster: Optional[ClusterModel] = None,
+        scale: Optional[ExperimentScale] = None,
+        mtti_seconds: Optional[float] = 3600.0,
+        checkpoint_interval_seconds: Optional[float] = None,
+        estimated_checkpoint_seconds: Optional[float] = None,
+        iteration_seconds: Optional[float] = None,
+        method: Optional[str] = None,
+        baseline: Optional[BaselineRun] = None,
+        x0: Optional[np.ndarray] = None,
+        seed: SeedLike = None,
+        max_restarts: int = 1000,
+        max_total_iterations: Optional[int] = None,
+    ) -> None:
+        self.solver = solver
+        self.b = np.asarray(b, dtype=np.float64)
+        self.scheme = scheme
+        self.cluster = cluster or ClusterModel()
+        self.scale = scale or ExperimentScale(
+            num_processes=self.cluster.num_processes, grid_n=2160
+        )
+        self.mtti_seconds = mtti_seconds
+        self.method = method or solver.name
+        self.iteration_seconds = (
+            check_positive(iteration_seconds, "iteration_seconds")
+            if iteration_seconds is not None
+            else self.cluster.iteration_time(self.method)
+        )
+        if checkpoint_interval_seconds is None:
+            if estimated_checkpoint_seconds is None:
+                raise ValueError(
+                    "provide either checkpoint_interval_seconds or "
+                    "estimated_checkpoint_seconds (to apply Young's formula)"
+                )
+            if mtti_seconds is None:
+                raise ValueError(
+                    "Young's formula needs a finite MTTI; pass "
+                    "checkpoint_interval_seconds explicitly for failure-free runs"
+                )
+            checkpoint_interval_seconds = young_interval(
+                estimated_checkpoint_seconds, mtti_seconds
+            )
+        self.checkpoint_interval_seconds = check_positive(
+            checkpoint_interval_seconds, "checkpoint_interval_seconds"
+        )
+        self.x0 = (
+            np.zeros(self.solver.n, dtype=np.float64)
+            if x0 is None
+            else np.asarray(x0, dtype=np.float64).copy()
+        )
+        self.seed = seed
+        self.baseline = baseline
+        self.max_restarts = int(max_restarts)
+        self.max_total_iterations = max_total_iterations
+        self.b_norm = float(np.linalg.norm(self.b))
+
+    # ------------------------------------------------------------------
+    def run(self) -> FTRunReport:
+        """Execute the failure-injected run and return its report."""
+        if self.baseline is None:
+            self.baseline = run_failure_free(self.solver, self.b, x0=self.x0)
+
+        clock = VirtualClock()
+        injector = FailureInjector(self.mtti_seconds, seed=self.seed)
+        vectors = self.scheme.dynamic_vector_count(self.method)
+
+        # Mutable loop state shared with the callback via a dict closure.
+        state: Dict[str, object] = {
+            "next_ckpt_time": self.checkpoint_interval_seconds,
+            "last_checkpoint": None,
+            "last_ckpt_completion_time": 0.0,
+            "compute_since_ckpt": 0.0,
+            "num_checkpoints": 0,
+            "num_failures_handled_inline": 0,
+            "ratios": [],
+            "ckpt_times": [],
+            "recovery_times": [],
+            "residual_trace": [],
+            "interrupted_at": None,
+        }
+
+        def handle_failure_inline(failure_time: float, phase: str) -> None:
+            injector.consume(failure_time, phase)
+            state["num_failures_handled_inline"] = (
+                int(state["num_failures_handled_inline"]) + 1
+            )
+            # Bugfix: a checkpoint that was already due must be retaken after
+            # the rollback, not rescheduled a full interval out.
+            was_due = clock.now >= float(state["next_ckpt_time"])
+            last: Optional[_CheckpointState] = state["last_checkpoint"]  # type: ignore[assignment]
+            recovery_seconds = self._recovery_seconds(last, vectors)
+            self._advance_with_failures(clock, injector, recovery_seconds, "recovery")
+            state["recovery_times"].append(recovery_seconds)
+            rollback_seconds = float(state["compute_since_ckpt"])
+            self._advance_with_failures(clock, injector, rollback_seconds, "rollback")
+            if was_due:
+                state["next_ckpt_time"] = clock.now
+            else:
+                state["next_ckpt_time"] = clock.now + self.checkpoint_interval_seconds
+
+        def callback(it_state: IterationState) -> None:
+            start = clock.now
+            clock.advance(self.iteration_seconds, "compute")
+            state["compute_since_ckpt"] = (
+                float(state["compute_since_ckpt"]) + self.iteration_seconds
+            )
+            state["residual_trace"].append(
+                (it_state.iteration, it_state.residual_norm)
+            )
+            failure_time = injector.failure_in(start, clock.now)
+            if failure_time is not None:
+                if self.scheme.lossy:
+                    injector.consume(failure_time, "compute")
+                    state["interrupted_at"] = it_state.iteration
+                    raise _FailureSignal(it_state.iteration, "failure during compute")
+                handle_failure_inline(failure_time, "compute")
+            if clock.now >= state["next_ckpt_time"] and self._checkpoint_allowed(
+                it_state, overdue_seconds=clock.now - float(state["next_ckpt_time"])
+            ):
+                self._take_checkpoint(
+                    it_state, clock, injector, state, vectors, handle_failure_inline
+                )
+
+        x_current = self.x0.copy()
+        warm_start: Optional[Tuple[np.ndarray, float]] = None
+        iteration_offset = 0
+        restarts_from_scratch = 0
+        converged = False
+        total_iterations = 0
+        restarts = 0
+        gave_up = False
+        give_up_reason: Optional[str] = None
+
+        while True:
+            interrupted = False
+            try:
+                result = self._solve_once(
+                    x_current, warm_start, iteration_offset, callback
+                )
+            except _FailureSignal:
+                interrupted = True
+                result = None
+
+            if not interrupted and result is not None:
+                total_iterations = iteration_offset + result.iterations
+                converged = result.converged
+                if (
+                    not converged
+                    and self.max_total_iterations is not None
+                    and total_iterations >= self.max_total_iterations
+                ):
+                    # Bugfix: the iteration budget ended the run — flag it.
+                    gave_up = True
+                    give_up_reason = "max_total_iterations"
+                break
+
+            # ---- failure path: recover from the last complete checkpoint ----
+            restarts += 1
+            if restarts > self.max_restarts:
+                # Bugfix: report the progress actually made, not a stale zero.
+                gave_up = True
+                give_up_reason = "max_restarts"
+                total_iterations = (
+                    int(state["interrupted_at"])
+                    if state["interrupted_at"] is not None
+                    else iteration_offset
+                )
+                break
+            last: Optional[_CheckpointState] = state["last_checkpoint"]  # type: ignore[assignment]
+            recovery_seconds = self._recovery_seconds(last, vectors)
+            self._advance_with_failures(clock, injector, recovery_seconds, "recovery")
+            state["recovery_times"].append(recovery_seconds)
+
+            if last is None:
+                x_current = self.x0.copy()
+                warm_start = None
+                iteration_offset = 0
+                restarts_from_scratch += 1
+            else:
+                compressor = self.scheme.compressor()
+                x_current = np.asarray(
+                    compressor.decompress(last.x_blob), dtype=np.float64
+                )
+                iteration_offset = last.iteration
+                if (
+                    self.scheme.checkpoint_krylov_state
+                    and isinstance(self.solver, CGSolver)
+                    and last.krylov_p is not None
+                ):
+                    warm_start = (last.krylov_p, float(last.krylov_rho))
+                else:
+                    warm_start = None
+            if (
+                self.max_total_iterations is not None
+                and iteration_offset >= self.max_total_iterations
+            ):
+                gave_up = True
+                give_up_reason = "max_total_iterations"
+                total_iterations = iteration_offset
+                break
+
+        total_ckpt_seconds = clock.time_in("checkpoint")
+        total_recovery_seconds = clock.time_in("recovery")
+        productive_seconds = self.baseline.iterations * self.iteration_seconds
+        ratios = state["ratios"] or [1.0]
+        info: Dict[str, object] = {
+            "iteration_seconds": self.iteration_seconds,
+            "num_processes": self.cluster.num_processes,
+            "mtti_seconds": self.mtti_seconds,
+            "dynamic_vectors": vectors,
+        }
+        if gave_up:
+            info["gave_up"] = True
+            info["give_up_reason"] = give_up_reason
+        return FTRunReport(
+            scheme=self.scheme.name,
+            method=self.method,
+            converged=converged,
+            total_iterations=total_iterations,
+            baseline_iterations=self.baseline.iterations,
+            num_failures=injector.count,
+            num_checkpoints=int(state["num_checkpoints"]),
+            num_restarts_from_scratch=restarts_from_scratch,
+            total_seconds=clock.now,
+            productive_seconds=productive_seconds,
+            checkpoint_seconds=total_ckpt_seconds,
+            recovery_seconds=total_recovery_seconds,
+            checkpoint_interval_seconds=self.checkpoint_interval_seconds,
+            mean_checkpoint_seconds=float(np.mean(state["ckpt_times"]))
+            if state["ckpt_times"]
+            else 0.0,
+            mean_recovery_seconds=float(np.mean(state["recovery_times"]))
+            if state["recovery_times"]
+            else 0.0,
+            mean_compression_ratio=float(np.mean(ratios)),
+            residual_trace=list(state["residual_trace"]),
+            info=info,
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _checkpoint_allowed(
+        self, it_state: IterationState, *, overdue_seconds: float = 0.0
+    ) -> bool:
+        if not self.scheme.lossy:
+            return True
+        if "cycle_end" in it_state.extras:
+            if bool(it_state.extras["cycle_end"]) or bool(
+                it_state.extras.get("converged", False)
+            ):
+                return True
+            return overdue_seconds > 0.25 * self.checkpoint_interval_seconds
+        return True
+
+    def _solve_once(self, x_current, warm_start, iteration_offset, callback):
+        remaining = None
+        if self.max_total_iterations is not None:
+            remaining = max(1, self.max_total_iterations - iteration_offset)
+        if isinstance(self.solver, CGSolver):
+            return self.solver.solve(
+                self.b,
+                x0=x_current,
+                callback=callback,
+                iteration_offset=iteration_offset,
+                warm_start=warm_start,
+                max_iter=remaining,
+            )
+        return self.solver.solve(
+            self.b,
+            x0=x_current,
+            callback=callback,
+            iteration_offset=iteration_offset,
+            max_iter=remaining,
+        )
+
+    def _take_checkpoint(
+        self,
+        it_state: IterationState,
+        clock: VirtualClock,
+        injector: FailureInjector,
+        state: Dict[str, object],
+        vectors: int,
+        handle_failure_inline,
+    ) -> None:
+        compressor = self.scheme.checkpoint_compressor(
+            residual_norm=it_state.residual_norm, b_norm=self.b_norm
+        )
+        x_blob = compressor.compress(it_state.x)
+        ratio = x_blob.compression_ratio
+
+        model_uncompressed = self.scale.vector_bytes * vectors
+        model_compressed = model_uncompressed / max(ratio, 1e-12)
+        ckpt_seconds = self.cluster.checkpoint_seconds(
+            model_uncompressed,
+            model_compressed,
+            compressed=self.scheme.uses_compression,
+        )
+
+        start = clock.now
+        clock.advance(ckpt_seconds, "checkpoint")
+        state["ckpt_times"].append(ckpt_seconds)
+        failure_time = injector.failure_in(start, clock.now)
+        if failure_time is not None:
+            # Incomplete checkpoint: do not update last_checkpoint.
+            if self.scheme.lossy:
+                injector.consume(failure_time, "checkpoint")
+                state["interrupted_at"] = it_state.iteration
+                state["next_ckpt_time"] = clock.now + self.checkpoint_interval_seconds
+                raise _FailureSignal(it_state.iteration, "failure during checkpoint")
+            handle_failure_inline(failure_time, "checkpoint")
+            return
+
+        krylov_p = None
+        krylov_rho = None
+        if self.scheme.checkpoint_krylov_state and "p" in it_state.extras:
+            krylov_p = np.asarray(it_state.extras["p"], dtype=np.float64)
+            krylov_rho = float(it_state.extras.get("rho", 0.0))
+        state["last_checkpoint"] = _CheckpointState(
+            iteration=it_state.iteration,
+            x_blob=x_blob,
+            krylov_p=krylov_p,
+            krylov_rho=krylov_rho,
+            compression_ratio=ratio,
+            model_uncompressed_bytes=model_uncompressed,
+            model_compressed_bytes=model_compressed,
+        )
+        state["num_checkpoints"] = int(state["num_checkpoints"]) + 1
+        state["ratios"].append(ratio)
+        state["last_ckpt_completion_time"] = clock.now
+        state["compute_since_ckpt"] = 0.0
+        state["next_ckpt_time"] = clock.now + self.checkpoint_interval_seconds
+
+    def _recovery_seconds(self, last: Optional[_CheckpointState], vectors: int) -> float:
+        if last is None:
+            return self.cluster.recovery_seconds(
+                0.0, 0.0, static_bytes=self.scale.static_bytes, compressed=False
+            )
+        return self.cluster.recovery_seconds(
+            last.model_uncompressed_bytes,
+            last.model_compressed_bytes,
+            static_bytes=self.scale.static_bytes,
+            compressed=self.scheme.uses_compression,
+        )
+
+    def _advance_with_failures(
+        self,
+        clock: VirtualClock,
+        injector: FailureInjector,
+        seconds: float,
+        category: str,
+    ) -> None:
+        for _ in range(16):
+            start = clock.now
+            clock.advance(seconds, category)
+            failure_time = injector.failure_in(start, clock.now)
+            if failure_time is None:
+                return
+            injector.consume(failure_time, category)
+        # Bugfix: budget exhausted — one final uninterrupted advance so the
+        # phase genuinely completes.
+        clock.advance(seconds, category)

@@ -1,0 +1,150 @@
+"""Engine ↔ pre-refactor runner equivalence (byte-identical reports).
+
+For the default scenario (Poisson failure arrivals, PFS-only recovery) the
+discrete-event engine must reproduce the pre-refactor runner's
+``FTRunReport.to_json()`` byte for byte across a (scheme × solver × seed)
+grid — the refactor moves the machinery, not the physics.  The reference
+implementation is the frozen copy in ``_legacy_runner.py``.
+"""
+
+import numpy as np
+import pytest
+
+from _legacy_runner import LegacyFaultTolerantRunner
+
+from repro.cluster.machine import ClusterModel
+from repro.core.runner import FaultTolerantRunner, run_failure_free
+from repro.core.scale import paper_scale
+from repro.core.schemes import CheckpointingScheme
+from repro.engine import FaultToleranceEngine
+from repro.solvers import BiCGStabSolver, CGSolver, GMRESSolver, JacobiSolver
+
+SEEDS = (0, 1, 2)
+
+SOLVER_FACTORIES = {
+    "jacobi": lambda A: JacobiSolver(A, rtol=1e-4, max_iter=50000),
+    "cg": lambda A: CGSolver(A, rtol=1e-7, max_iter=50000),
+    "gmres": lambda A: GMRESSolver(A, rtol=7e-5, max_iter=50000),
+    "bicgstab": lambda A: BiCGStabSolver(A, rtol=1e-7, max_iter=50000),
+}
+
+SCHEME_FACTORIES = {
+    "traditional": CheckpointingScheme.traditional,
+    "lossless": CheckpointingScheme.lossless,
+    "lossy": lambda: CheckpointingScheme.lossy(1e-4),
+}
+
+
+@pytest.fixture(scope="module")
+def grid_setup(poisson_small):
+    cluster = ClusterModel(num_processes=2048)
+    scale = paper_scale(2048)
+    baselines = {}
+    solvers = {}
+    for name, factory in SOLVER_FACTORIES.items():
+        solver = factory(poisson_small.A)
+        solvers[name] = solver
+        baselines[name] = run_failure_free(solver, poisson_small.b)
+    return poisson_small, cluster, scale, solvers, baselines
+
+
+def _common_kwargs(problem, cluster, scale, method, baseline, seed):
+    iteration_seconds = cluster.calibrated_iteration_time(method, baseline.iterations)
+    return dict(
+        cluster=cluster,
+        scale=scale,
+        mtti_seconds=600.0,
+        estimated_checkpoint_seconds=40.0,
+        iteration_seconds=iteration_seconds,
+        method=method,
+        baseline=baseline,
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEME_FACTORIES))
+@pytest.mark.parametrize("method", sorted(SOLVER_FACTORIES))
+def test_reports_byte_identical(grid_setup, scheme_name, method):
+    problem, cluster, scale, solvers, baselines = grid_setup
+    failures_seen = 0
+    for seed in SEEDS:
+        kwargs = _common_kwargs(
+            problem, cluster, scale, method, baselines[method], seed
+        )
+        legacy_report = LegacyFaultTolerantRunner(
+            solvers[method], problem.b, SCHEME_FACTORIES[scheme_name](), **kwargs
+        ).run()
+        engine_report = FaultTolerantRunner(
+            solvers[method], problem.b, SCHEME_FACTORIES[scheme_name](), **kwargs
+        ).run()
+        assert engine_report.to_json() == legacy_report.to_json()
+        failures_seen += engine_report.num_failures
+    # The grid must actually exercise the failure paths, not just agree on
+    # failure-free runs.
+    assert failures_seen > 0
+
+
+def test_failure_free_runs_identical(grid_setup):
+    problem, cluster, scale, solvers, baselines = grid_setup
+    kwargs = _common_kwargs(problem, cluster, scale, "jacobi", baselines["jacobi"], 3)
+    kwargs.update(mtti_seconds=None, checkpoint_interval_seconds=600.0)
+    kwargs.pop("estimated_checkpoint_seconds", None)
+    legacy = LegacyFaultTolerantRunner(
+        solvers["jacobi"], problem.b, CheckpointingScheme.lossy(1e-4), **kwargs
+    ).run()
+    engine = FaultTolerantRunner(
+        solvers["jacobi"], problem.b, CheckpointingScheme.lossy(1e-4), **kwargs
+    ).run()
+    assert engine.to_json() == legacy.to_json()
+    assert engine.num_failures == 0
+
+
+def test_give_up_paths_identical(grid_setup):
+    """Both give-up paths agree byte-for-byte between engine and reference."""
+    problem, cluster, scale, solvers, baselines = grid_setup
+    baseline = baselines["jacobi"]
+    for extra in (
+        {"max_restarts": 0},
+        {"max_total_iterations": max(2, baseline.iterations // 2)},
+    ):
+        for seed in SEEDS:
+            kwargs = _common_kwargs(problem, cluster, scale, "jacobi", baseline, seed)
+            kwargs["mtti_seconds"] = 120.0
+            kwargs.update(extra)
+            legacy = LegacyFaultTolerantRunner(
+                solvers["jacobi"], problem.b, CheckpointingScheme.lossy(1e-4), **kwargs
+            ).run()
+            engine = FaultTolerantRunner(
+                solvers["jacobi"], problem.b, CheckpointingScheme.lossy(1e-4), **kwargs
+            ).run()
+            assert engine.to_json() == legacy.to_json()
+
+
+def test_no_cg_isinstance_in_engine_or_runner_shim():
+    """The engine is solver-agnostic: no CGSolver special cases remain."""
+    import inspect
+
+    import repro.core.runner as runner_module
+    import repro.engine.core as engine_module
+
+    for module in (engine_module, runner_module):
+        source = inspect.getsource(module)
+        assert "isinstance(self.solver, CGSolver)" not in source
+        assert "CGSolver" not in source
+
+
+def test_engine_is_the_runner():
+    assert FaultTolerantRunner is FaultToleranceEngine
+
+
+def test_protocol_capture_matches_legacy_krylov_checkpoint(grid_setup):
+    """The generic capture stores exactly what the legacy CG path stored."""
+    problem, _, _, solvers, _ = grid_setup
+    solver = solvers["cg"]
+    captured = []
+    solver.solve(problem.b, callback=lambda s: captured.append(s), max_iter=5)
+    state = captured[-1]
+    resume = solver.capture_resume_state(state)
+    assert resume is not None
+    np.testing.assert_array_equal(resume.vectors["p"], np.asarray(state.extras["p"]))
+    assert resume.scalars["rho"] == float(state.extras["rho"])
