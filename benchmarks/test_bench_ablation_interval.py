@@ -9,13 +9,9 @@ import numpy as np
 from conftest import run_once
 
 from repro.cluster import ClusterModel
-from repro.core import (
-    CheckpointingScheme,
-    FaultTolerantRunner,
-    paper_scale,
-    run_failure_free,
-    young_interval,
-)
+from repro.core import CheckpointingScheme, paper_scale, young_interval
+from repro.engine import FaultToleranceEngine as FaultTolerantRunner
+from repro.engine import run_failure_free
 from repro.experiments.characterize import measure_scheme_ratio, scheme_timings
 from repro.experiments.config import method_problem, method_solver
 from repro.utils.rng import derive_seed

@@ -27,7 +27,8 @@ import time
 from conftest import run_once
 
 from repro.cluster.machine import ClusterModel
-from repro.core.runner import FaultTolerantRunner, run_failure_free
+from repro.engine import FaultToleranceEngine as FaultTolerantRunner
+from repro.engine import run_failure_free
 from repro.core.scale import paper_scale
 from repro.core.schemes import CheckpointingScheme
 from repro.engine import Scenario

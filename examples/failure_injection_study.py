@@ -16,8 +16,13 @@ import sys
 import numpy as np
 
 from repro.cluster import ClusterModel
-from repro.core import FaultTolerantRunner, paper_scale, run_failure_free
-from repro.experiments.characterize import measure_scheme_ratio, scheme_timings, standard_schemes
+from repro.core import paper_scale
+from repro.engine import FaultToleranceEngine, run_failure_free
+from repro.experiments.characterize import (
+    measure_scheme_ratio,
+    measured_scheme_timings,
+    standard_schemes,
+)
 from repro.experiments.config import DEFAULT_CONFIG, method_problem, method_solver
 from repro.utils.tables import format_table
 
@@ -37,12 +42,12 @@ def main(method: str = "jacobi", repetitions: int = 6) -> None:
     rows = []
     for scheme in standard_schemes(config.error_bound, method=method):
         characterization = measure_scheme_ratio(solver, problem.b, scheme, method=method)
-        timings = scheme_timings(scheme, method, characterization.mean_ratio, scale, cluster)
+        timings = measured_scheme_timings(scheme, characterization, scale, cluster)
         interval = timings.young_interval(config.mtti_seconds)
 
         overheads, failures, extras = [], [], []
         for rep in range(repetitions):
-            report = FaultTolerantRunner(
+            report = FaultToleranceEngine(
                 solver, problem.b, scheme,
                 cluster=cluster, scale=scale,
                 mtti_seconds=config.mtti_seconds,

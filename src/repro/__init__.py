@@ -19,12 +19,13 @@ Quick start::
 
     from repro.sparse import poisson_system
     from repro.solvers import CGSolver
-    from repro.core import CheckpointingScheme, FaultTolerantRunner
+    from repro.core import CheckpointingScheme
+    from repro.engine import FaultToleranceEngine
 
     problem = poisson_system(16)
     solver = CGSolver(problem.A, rtol=1e-7, max_iter=5000)
     scheme = CheckpointingScheme.lossy(1e-4)
-    report = FaultTolerantRunner(
+    report = FaultToleranceEngine(
         solver, problem.b, scheme,
         mtti_seconds=3600.0, estimated_checkpoint_seconds=25.0, seed=0,
     ).run()

@@ -69,8 +69,14 @@ def _build_scheme(cell):
     if cell.scheme == "lossless":
         return CheckpointingScheme.lossless()
     if cell.scheme == "lossy":
+        # ``adaptive`` (the paper's GMRES default) upgrades the *default*
+        # fixed policy to Theorem 3; an explicitly non-default policy axis
+        # wins, so a policy sweep never runs mislabeled configurations.
+        policy = getattr(cell, "error_bound_policy", "fixed")
+        if cell.adaptive and policy == "fixed":
+            policy = "residual_adaptive"
         return CheckpointingScheme.lossy(
-            cell.error_bound, compressor=cell.compressor, adaptive=cell.adaptive
+            cell.error_bound, compressor=cell.compressor, bound_policy=policy
         )
     raise ValueError(f"unknown scheme {cell.scheme!r}")
 
@@ -95,6 +101,7 @@ def _scheme_key(cell) -> Tuple:
         cell.compressor,
         cell.error_bound,
         cell.adaptive,
+        getattr(cell, "error_bound_policy", "fixed"),
     )
 
 
@@ -109,7 +116,7 @@ def _cached_setup(
     max_iter: int,
 ):
     """Problem, solver and failure-free baseline for one configuration."""
-    from repro.core.runner import run_failure_free
+    from repro.engine import run_failure_free
 
     cfg = SimpleNamespace(
         method=method,
@@ -138,8 +145,9 @@ def _cached_characterization(
     compressor: str,
     error_bound: float,
     adaptive: bool,
+    error_bound_policy: str,
 ):
-    """Mean compression ratio of one scheme on one solver configuration."""
+    """Measured pipeline-payload characterization of one scheme/config."""
     from repro.experiments.characterize import measure_scheme_ratio
 
     problem, solver, _ = _cached_setup(
@@ -151,6 +159,7 @@ def _cached_characterization(
             compressor=compressor,
             error_bound=error_bound,
             adaptive=adaptive,
+            error_bound_policy=error_bound_policy,
         )
     )
     return measure_scheme_ratio(solver, problem.b, scheme_obj, method=method)
@@ -193,7 +202,7 @@ def _run_solve(cell) -> Dict[str, object]:
 
 
 def _run_characterize(cell) -> Dict[str, object]:
-    """Measure one scheme's compression ratio on representative iterates."""
+    """Measure one scheme's pipeline payload on representative iterates."""
     char = _characterization(cell)
     return {
         "scheme": char.scheme,
@@ -202,6 +211,14 @@ def _run_characterize(cell) -> Dict[str, object]:
         "min_ratio": float(char.min_ratio),
         "ratios": [float(r) for r in char.ratios],
         "baseline_iterations": int(char.baseline_iterations),
+        # Measured-payload composition: per-vector ratios plus the absolute
+        # scalar/index bytes one serialized checkpoint carries.
+        "variable_ratios": {
+            str(k): float(v) for k, v in char.variable_ratios.items()
+        },
+        "scalar_count": int(char.scalar_count),
+        "overhead_bytes": float(char.overhead_bytes),
+        "payload_bytes": [int(b) for b in char.payload_bytes],
     }
 
 
@@ -264,14 +281,17 @@ def _run_ft(cell) -> Dict[str, object]:
     The checkpoint interval follows the paper's two-step methodology: the
     scheme's checkpoint cost is characterized first, then Young's formula maps
     it to the interval (unless the cell pins an explicit interval).  The
-    cell's scenario coordinates (failure model x recovery levels) select the
-    engine regime; the default reproduces the paper's Poisson/PFS setup.
+    cell's scenario coordinates (failure model x recovery levels x checkpoint
+    costing) select the engine regime; the default prices checkpoints from
+    the measured pipeline payload under the paper's Poisson/PFS setup.
     """
     from repro.cluster.machine import ClusterModel
-    from repro.core.runner import FaultTolerantRunner
     from repro.core.scale import paper_scale
-    from repro.engine.scenario import Scenario
-    from repro.experiments.characterize import scheme_timings
+    from repro.engine import FaultToleranceEngine, Scenario
+    from repro.experiments.characterize import (
+        measured_scheme_timings,
+        scheme_timings,
+    )
 
     problem, solver, baseline = _setup(cell)
     scheme = _build_scheme(cell)
@@ -279,7 +299,13 @@ def _run_ft(cell) -> Dict[str, object]:
 
     scale = paper_scale(cell.num_processes)
     cluster = ClusterModel(num_processes=cell.num_processes)
-    timings = scheme_timings(scheme, cell.method, char.mean_ratio, scale, cluster)
+    # The a-priori estimate (Young interval, reported estimated seconds) is
+    # priced under the same costing the engine will charge, so the interval
+    # is optimized for the cost the run actually pays.
+    if cell.checkpoint_costing == "measured":
+        timings = measured_scheme_timings(scheme, char, scale, cluster)
+    else:
+        timings = scheme_timings(scheme, cell.method, char.mean_ratio, scale, cluster)
     iteration_seconds = cluster.calibrated_iteration_time(
         cell.method, baseline.iterations
     )
@@ -291,7 +317,7 @@ def _run_ft(cell) -> Dict[str, object]:
             )
         interval = timings.young_interval(cell.mtti_seconds)
 
-    runner = FaultTolerantRunner(
+    runner = FaultToleranceEngine(
         solver,
         problem.b,
         scheme,
@@ -304,7 +330,9 @@ def _run_ft(cell) -> Dict[str, object]:
         baseline=baseline,
         seed=cell.seed,
         scenario=Scenario(
-            failure_model=cell.failure_model, recovery_levels=cell.recovery_levels
+            failure_model=cell.failure_model,
+            recovery_levels=cell.recovery_levels,
+            checkpoint_costing=cell.checkpoint_costing,
         ),
     )
     report = runner.run()
@@ -320,6 +348,7 @@ def _run_ft(cell) -> Dict[str, object]:
         "baseline_iterations": int(baseline.iterations),
         "failure_model": str(cell.failure_model),
         "recovery_levels": str(cell.recovery_levels),
+        "checkpoint_costing": str(cell.checkpoint_costing),
     }
 
 

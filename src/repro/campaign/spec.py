@@ -12,8 +12,9 @@ cells can be
   (:mod:`repro.campaign.cache`).
 
 :class:`CampaignSpec` is the declarative grid {kind x method x scheme x
-compressor x error bound x interval x MTTI x scenario (failure model x
-recovery levels) x scale x repetition} that expands into the cell list;
+compressor x error bound x error-bound policy x interval x MTTI x scenario
+(failure model x recovery levels x checkpoint costing) x scale x repetition}
+that expands into the cell list;
 figure modules that need a heterogeneous or specially seeded cell list pass
 explicit ``cells`` instead of grid axes.
 """
@@ -31,7 +32,7 @@ __all__ = ["RunSpec", "CampaignSpec", "KINDS"]
 
 #: Cell kinds understood by :func:`repro.campaign.execute.execute_cell`.
 KINDS = (
-    "ft",               # failure-injected FaultTolerantRunner run -> FTRunReport
+    "ft",               # failure-injected FaultToleranceEngine run -> FTRunReport
     "characterize",     # compression-ratio characterization of one scheme
     "extra_iterations", # Fig. 2 random-restart extra-iteration study
     "trajectory",       # Fig. 9 residual trace with scripted lossy restarts
@@ -45,7 +46,10 @@ KINDS = (
 #: 3: the discrete-event engine added the scenario axis (failure model x
 #: recovery levels) to ft cells and fixed give-up/overdue-checkpoint
 #: accounting, changing some cached FT reports.
-CACHE_VERSION = 3
+#: 4: the checkpoint pipeline made measured-payload costing the default (ft
+#: reports price per-variable serialized bytes) and characterization cells
+#: now carry per-variable ratios/overhead, changing cached cell results.
+CACHE_VERSION = 4
 
 _Params = Tuple[Tuple[str, object], ...]
 
@@ -81,7 +85,17 @@ class RunSpec:
     error_bound:
         Pointwise-relative error bound of the lossy compressor.
     adaptive:
-        Use the Theorem-3 adaptive bound (the paper's GMRES setting).
+        Use the Theorem-3 adaptive bound (the paper's GMRES setting);
+        shorthand that overrides ``error_bound_policy`` with
+        ``"residual_adaptive"``.
+    error_bound_policy:
+        How the lossy bound is chosen at each checkpoint: ``"fixed"``,
+        ``"value_range"`` or ``"residual_adaptive"`` (see
+        :mod:`repro.compression.errorbounds`).
+    checkpoint_costing:
+        How checkpoint/recovery bytes are priced: ``"measured"`` (serialized
+        pipeline payload, the default) or ``"modeled"`` (the historical
+        ``vector_bytes × n_vectors`` estimate).
     num_processes:
         Paper-scale process count the cell is accounted at.
     mtti_seconds:
@@ -120,10 +134,12 @@ class RunSpec:
     compressor: str = "sz"
     error_bound: float = 1e-4
     adaptive: bool = False
+    error_bound_policy: str = "fixed"
     num_processes: int = 2048
     mtti_seconds: Optional[float] = 3600.0
     failure_model: str = "poisson"
     recovery_levels: str = "pfs"
+    checkpoint_costing: str = "measured"
     checkpoint_interval_seconds: Optional[float] = None
     repetition: int = 0
     seed: int = 2018
@@ -138,7 +154,12 @@ class RunSpec:
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown cell kind {self.kind!r}; known: {KINDS}")
-        from repro.engine.scenario import CAMPAIGN_FAILURE_MODELS, RECOVERY_LEVELS
+        from repro.compression.errorbounds import BOUND_POLICIES
+        from repro.engine.scenario import (
+            CAMPAIGN_FAILURE_MODELS,
+            CHECKPOINT_COSTINGS,
+            RECOVERY_LEVELS,
+        )
 
         if self.failure_model not in CAMPAIGN_FAILURE_MODELS:
             # "scripted" is deliberately excluded: a cell cannot carry the
@@ -152,6 +173,18 @@ class RunSpec:
             raise ValueError(
                 f"unknown recovery levels {self.recovery_levels!r}; "
                 f"known: {RECOVERY_LEVELS}"
+            )
+        if self.checkpoint_costing not in CHECKPOINT_COSTINGS:
+            raise ValueError(
+                f"unknown checkpoint costing {self.checkpoint_costing!r}; "
+                f"known: {CHECKPOINT_COSTINGS}"
+            )
+        if self.error_bound_policy not in BOUND_POLICIES:
+            # "per_variable" is deliberately excluded: a cell cannot carry
+            # the per-name policy mapping it needs.
+            raise ValueError(
+                f"unknown error-bound policy {self.error_bound_policy!r}; "
+                f"known: {BOUND_POLICIES}"
             )
         object.__setattr__(self, "params", _freeze_params(self.params))
 
@@ -176,10 +209,12 @@ class RunSpec:
             "compressor": self.compressor,
             "error_bound": float(self.error_bound),
             "adaptive": bool(self.adaptive),
+            "error_bound_policy": self.error_bound_policy,
             "num_processes": int(self.num_processes),
             "mtti_seconds": None if self.mtti_seconds is None else float(self.mtti_seconds),
             "failure_model": self.failure_model,
             "recovery_levels": self.recovery_levels,
+            "checkpoint_costing": self.checkpoint_costing,
             "checkpoint_interval_seconds": (
                 None
                 if self.checkpoint_interval_seconds is None
@@ -231,10 +266,12 @@ class CampaignSpec:
     schemes: Tuple[str, ...] = ("lossy",)
     compressors: Tuple[str, ...] = ("sz",)
     error_bounds: Tuple[float, ...] = (1e-4,)
+    error_bound_policies: Tuple[str, ...] = ("fixed",)
     checkpoint_intervals: Tuple[Optional[float], ...] = (None,)
     mttis: Tuple[Optional[float], ...] = (3600.0,)
     failure_models: Tuple[str, ...] = ("poisson",)
     recovery_levels: Tuple[str, ...] = ("pfs",)
+    checkpoint_costings: Tuple[str, ...] = ("measured",)
     process_counts: Tuple[int, ...] = (2048,)
     repetitions: int = 1
     seed: int = 2018
@@ -251,10 +288,16 @@ class CampaignSpec:
         object.__setattr__(self, "schemes", tuple(self.schemes))
         object.__setattr__(self, "compressors", tuple(self.compressors))
         object.__setattr__(self, "error_bounds", tuple(float(e) for e in self.error_bounds))
+        object.__setattr__(
+            self, "error_bound_policies", tuple(self.error_bound_policies)
+        )
         object.__setattr__(self, "checkpoint_intervals", tuple(self.checkpoint_intervals))
         object.__setattr__(self, "mttis", tuple(self.mttis))
         object.__setattr__(self, "failure_models", tuple(self.failure_models))
         object.__setattr__(self, "recovery_levels", tuple(self.recovery_levels))
+        object.__setattr__(
+            self, "checkpoint_costings", tuple(self.checkpoint_costings)
+        )
         object.__setattr__(self, "process_counts", tuple(int(p) for p in self.process_counts))
         object.__setattr__(self, "rtols", _freeze_params(dict(self.rtols)))
         object.__setattr__(self, "params", _freeze_params(self.params))
@@ -276,26 +319,30 @@ class CampaignSpec:
             for scheme in self.schemes:
                 for compressor in self.compressors:
                     for eb in self.error_bounds:
-                        for interval in self.checkpoint_intervals:
-                            for mtti in self.mttis:
-                                for failure_model in self.failure_models:
-                                    for levels in self.recovery_levels:
-                                        for procs in self.process_counts:
-                                            for rep in range(self.repetitions):
-                                                expanded.append(
-                                                    self._cell(
-                                                        method,
-                                                        scheme,
-                                                        compressor,
-                                                        eb,
-                                                        interval,
-                                                        mtti,
-                                                        failure_model,
-                                                        levels,
-                                                        procs,
-                                                        rep,
-                                                    )
-                                                )
+                        for policy in self.error_bound_policies:
+                            for interval in self.checkpoint_intervals:
+                                for mtti in self.mttis:
+                                    for failure_model in self.failure_models:
+                                        for levels in self.recovery_levels:
+                                            for costing in self.checkpoint_costings:
+                                                for procs in self.process_counts:
+                                                    for rep in range(self.repetitions):
+                                                        expanded.append(
+                                                            self._cell(
+                                                                method,
+                                                                scheme,
+                                                                compressor,
+                                                                eb,
+                                                                policy,
+                                                                interval,
+                                                                mtti,
+                                                                failure_model,
+                                                                levels,
+                                                                costing,
+                                                                procs,
+                                                                rep,
+                                                            )
+                                                        )
         return expanded
 
     def _cell(
@@ -304,10 +351,12 @@ class CampaignSpec:
         scheme: str,
         compressor: str,
         eb: float,
+        error_bound_policy: str,
         interval: Optional[float],
         mtti: Optional[float],
         failure_model: str,
         recovery_levels: str,
+        checkpoint_costing: str,
         procs: int,
         rep: int,
     ) -> RunSpec:
@@ -321,11 +370,16 @@ class CampaignSpec:
             procs,
             rep,
         ]
-        # Scenario coordinates only salt the seed when non-default, so every
-        # pre-scenario campaign keeps its exact historical cell seeds (and
-        # with them the statistical baselines the figure tests pin).
+        # Scenario/policy/costing coordinates only salt the seed when
+        # non-default, so every pre-existing campaign keeps its exact
+        # historical cell seeds (and with them the statistical baselines the
+        # figure tests pin).
         if failure_model != "poisson" or recovery_levels != "pfs":
             salts += [failure_model, recovery_levels]
+        if error_bound_policy != "fixed":
+            salts += ["policy", error_bound_policy]
+        if checkpoint_costing != "measured":
+            salts += ["costing", checkpoint_costing]
         cell_seed = derive_seed(self.seed, *salts)
         return RunSpec(
             kind=self.kind,
@@ -334,10 +388,12 @@ class CampaignSpec:
             compressor=compressor,
             error_bound=float(eb),
             adaptive=(scheme == "lossy" and method == "gmres"),
+            error_bound_policy=error_bound_policy,
             num_processes=int(procs),
             mtti_seconds=mtti,
             failure_model=failure_model,
             recovery_levels=recovery_levels,
+            checkpoint_costing=checkpoint_costing,
             checkpoint_interval_seconds=interval,
             repetition=rep,
             seed=cell_seed,
@@ -358,10 +414,12 @@ class CampaignSpec:
             * len(self.schemes)
             * len(self.compressors)
             * len(self.error_bounds)
+            * len(self.error_bound_policies)
             * len(self.checkpoint_intervals)
             * len(self.mttis)
             * len(self.failure_models)
             * len(self.recovery_levels)
+            * len(self.checkpoint_costings)
             * len(self.process_counts)
             * self.repetitions
         )
@@ -376,10 +434,12 @@ class CampaignSpec:
             "schemes": list(self.schemes),
             "compressors": list(self.compressors),
             "error_bounds": list(self.error_bounds),
+            "error_bound_policies": list(self.error_bound_policies),
             "checkpoint_intervals": list(self.checkpoint_intervals),
             "mttis": list(self.mttis),
             "failure_models": list(self.failure_models),
             "recovery_levels": list(self.recovery_levels),
+            "checkpoint_costings": list(self.checkpoint_costings),
             "process_counts": list(self.process_counts),
             "repetitions": int(self.repetitions),
             "seed": int(self.seed),

@@ -28,6 +28,13 @@ from repro.checkpoint.multilevel import (
     MultilevelPolicy,
     MultilevelCheckpointStore,
 )
+from repro.checkpoint.pipeline import (
+    PIPELINE_VERSION,
+    CheckpointPipeline,
+    PipelineSnapshot,
+    RestoredCheckpoint,
+    VariableMeasurement,
+)
 
 __all__ = [
     "VariableRole",
@@ -45,4 +52,9 @@ __all__ = [
     "CheckpointLevel",
     "MultilevelPolicy",
     "MultilevelCheckpointStore",
+    "CheckpointPipeline",
+    "PipelineSnapshot",
+    "RestoredCheckpoint",
+    "VariableMeasurement",
+    "PIPELINE_VERSION",
 ]

@@ -30,7 +30,18 @@ from repro.compression.codec import (
     encode_frame,
     encode_signed,
 )
-from repro.compression.errorbounds import ErrorBound, ErrorBoundMode
+from repro.compression.errorbounds import (
+    BOUND_POLICIES,
+    ErrorBound,
+    ErrorBoundMode,
+    ErrorBoundPolicy,
+    FixedBoundPolicy,
+    PerVariableBoundPolicy,
+    ResidualAdaptiveBoundPolicy,
+    ValueRangeBoundPolicy,
+    available_bound_policies,
+    make_bound_policy,
+)
 from repro.compression.identity import IdentityCompressor
 from repro.compression.lossless import ZlibCompressor, LzmaCompressor
 from repro.compression.sz import SZCompressor
@@ -60,6 +71,14 @@ __all__ = [
     "decode_frame",
     "ErrorBound",
     "ErrorBoundMode",
+    "ErrorBoundPolicy",
+    "FixedBoundPolicy",
+    "ValueRangeBoundPolicy",
+    "ResidualAdaptiveBoundPolicy",
+    "PerVariableBoundPolicy",
+    "BOUND_POLICIES",
+    "make_bound_policy",
+    "available_bound_policies",
     "IdentityCompressor",
     "ZlibCompressor",
     "LzmaCompressor",

@@ -10,8 +10,8 @@ This package layers the primary contribution on top of the substrates:
   GMRES;
 * :mod:`repro.core.schemes` — the traditional / lossless / lossy checkpointing
   schemes;
-* :mod:`repro.core.runner` — failure-injected fault-tolerant execution on the
-  virtual cluster timeline;
+* :mod:`repro.core.runner` — deprecated compatibility shim for the
+  failure-injected execution engine, which now lives in :mod:`repro.engine`;
 * :mod:`repro.core.extra_iterations` — the empirical N' measurement (Fig. 2).
 """
 
@@ -38,12 +38,11 @@ from repro.core.gmres_theory import (
 )
 from repro.core.schemes import CheckpointingScheme
 from repro.core.scale import ExperimentScale, PAPER_WEAK_SCALING, paper_scale
-from repro.core.runner import (
-    FaultTolerantRunner,
-    FTRunReport,
-    BaselineRun,
-    run_failure_free,
-)
+# Imported from repro.engine (not repro.core.runner) so that merely importing
+# this package does not trip the runner module's deprecation warning; the
+# historical ``repro.core.FaultTolerantRunner`` name keeps working.
+from repro.engine.core import FaultToleranceEngine as FaultTolerantRunner
+from repro.engine.report import BaselineRun, FTRunReport, run_failure_free
 from repro.core.extra_iterations import (
     ExtraIterationStudy,
     ExtraIterationTrial,

@@ -18,9 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.compression.errorbounds import ErrorBound
+from repro.compression.errorbounds import ResidualAdaptiveBoundPolicy
 from repro.utils.validation import check_nonnegative, check_positive
 
 __all__ = [
@@ -44,11 +42,9 @@ def adaptive_relative_bound(
     robustly; the lower clip matters late in the run when the residual is at
     the convergence threshold.
     """
-    residual_norm = check_nonnegative(residual_norm, "residual_norm")
-    b_norm = check_positive(b_norm, "b_norm")
-    safety_factor = check_positive(safety_factor, "safety_factor")
-    raw = safety_factor * residual_norm / b_norm
-    return float(np.clip(raw, min_bound, max_bound))
+    return ResidualAdaptiveBoundPolicy(
+        safety_factor=safety_factor, min_bound=min_bound, max_bound=max_bound
+    ).bound_value(residual_norm, b_norm)
 
 
 def residual_jump_bound(residual_norm: float, b_norm: float, eb: float) -> float:
@@ -63,31 +59,16 @@ def residual_jump_bound(residual_norm: float, b_norm: float, eb: float) -> float
     return float((1.0 + eb) * residual_norm + eb * b_norm)
 
 
-@dataclass
-class GMRESErrorBoundPolicy:
-    """Callable policy returning the compression bound for the current state.
+@dataclass(frozen=True)
+class GMRESErrorBoundPolicy(ResidualAdaptiveBoundPolicy):
+    """The Theorem-3 policy under its historical GMRES-specific name.
 
     Plugged into the lossy checkpointing scheme for GMRES: at every checkpoint
     the bound is recomputed from the current residual norm, so early
     checkpoints (large residual) are compressed aggressively while late
     checkpoints (small residual) are compressed tightly enough not to disturb
-    convergence.
+    convergence.  The implementation now lives in the method-agnostic
+    :class:`~repro.compression.errorbounds.ResidualAdaptiveBoundPolicy`
+    (Theorem 3 is not specific to GMRES); this subclass keeps the public
+    name every existing call site imports.
     """
-
-    safety_factor: float = 1.0
-    min_bound: float = 1e-12
-    max_bound: float = 1e-1
-
-    def bound_value(self, residual_norm: float, b_norm: float) -> float:
-        """The scalar pointwise-relative bound for the current residual."""
-        return adaptive_relative_bound(
-            residual_norm,
-            b_norm,
-            safety_factor=self.safety_factor,
-            min_bound=self.min_bound,
-            max_bound=self.max_bound,
-        )
-
-    def error_bound(self, residual_norm: float, b_norm: float) -> ErrorBound:
-        """Same as :meth:`bound_value` but wrapped as an :class:`ErrorBound`."""
-        return ErrorBound.pointwise_relative(self.bound_value(residual_norm, b_norm))

@@ -1,26 +1,42 @@
-"""Fault-tolerant execution of iterative solvers — compatibility surface.
+"""Fault-tolerant execution of iterative solvers — deprecated compat surface.
 
 The implementation lives in :mod:`repro.engine`: the original
 ``FaultTolerantRunner`` dict-closure state machine was refactored into the
 discrete-event :class:`~repro.engine.core.FaultToleranceEngine` (explicit
 compute/checkpoint/failure/recovery/rollback events against a typed
 :class:`~repro.engine.core.EngineState`, solver-agnostic via the
-``CheckpointableState`` protocol, pluggable failure models and
-multilevel-aware recovery costing via
-:class:`~repro.engine.scenario.Scenario`).
+``CheckpointableState`` protocol, pluggable failure models, multilevel-aware
+recovery costing via :class:`~repro.engine.scenario.Scenario`, and one
+:class:`~repro.checkpoint.pipeline.CheckpointPipeline` write/restore path).
 
-This module keeps the historical import surface — ``FaultTolerantRunner``
-*is* the engine, with identical constructor parameters and byte-identical
-reports for the default (Poisson failures, PFS recovery) scenario, as pinned
-by the engine-equivalence test suite.
+This module keeps the historical import name alive but **deprecated**:
+accessing ``FaultTolerantRunner`` here emits a :class:`DeprecationWarning` —
+import :class:`~repro.engine.FaultToleranceEngine` (or anything else from
+:mod:`repro.engine`) instead.  The constructor parameters are identical and
+reports under the modeled Poisson/PFS scenario stay byte-identical, as
+pinned by the engine-equivalence test suite.
 """
 
 from __future__ import annotations
 
-from repro.engine.core import FaultToleranceEngine
+import warnings
+
 from repro.engine.report import BaselineRun, FTRunReport, run_failure_free
 
 __all__ = ["FaultTolerantRunner", "FTRunReport", "run_failure_free", "BaselineRun"]
 
-#: Historical name of the engine (every pre-engine call site keeps working).
-FaultTolerantRunner = FaultToleranceEngine
+
+def __getattr__(name: str):
+    """PEP 562 hook: the historical runner name resolves to the engine, loudly."""
+    if name == "FaultTolerantRunner":
+        from repro.engine.core import FaultToleranceEngine
+
+        warnings.warn(
+            "repro.core.runner.FaultTolerantRunner is deprecated; use "
+            "repro.engine.FaultToleranceEngine (identical constructor and "
+            "reports) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return FaultToleranceEngine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,8 +10,11 @@ A scheme bundles everything the fault-tolerance runner needs to know about
   and scalar ``rho``) must be checkpointed as well — the paper checkpoints
   ``x`` *and* ``p`` under traditional/lossless checkpointing (Algorithm 1)
   but only ``x`` under lossy checkpointing (Algorithm 2, restarted CG),
-* the error-bound policy: a fixed pointwise-relative bound (Jacobi and CG use
-  ``1e-4``) or the adaptive Theorem-3 policy for GMRES.
+* the error-bound policy
+  (:class:`~repro.compression.errorbounds.ErrorBoundPolicy`): a fixed
+  pointwise-relative bound (Jacobi and CG use ``1e-4``), a value-range
+  relative bound, the residual-adaptive Theorem-3 policy (the paper's GMRES
+  setting), or a per-variable composition of those.
 """
 
 from __future__ import annotations
@@ -20,8 +23,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
 from repro.compression.base import Compressor, make_compressor
-from repro.compression.errorbounds import ErrorBound
-from repro.core.gmres_theory import GMRESErrorBoundPolicy
+from repro.compression.errorbounds import (
+    ErrorBound,
+    ErrorBoundPolicy,
+    ResidualAdaptiveBoundPolicy,
+    make_bound_policy,
+)
 from repro.solvers.base import IterativeSolver, checkpoint_spec_for
 
 __all__ = ["CheckpointingScheme"]
@@ -43,9 +50,10 @@ class CheckpointingScheme:
     #: resumed exactly (the paper's Algorithm 1).  Lossy schemes set this to
     #: False and restart from ``x`` only (Algorithm 2).
     checkpoint_krylov_state: bool = True
-    #: Adaptive error-bound policy (Theorem 3); only meaningful for lossy
-    #: schemes driving GMRES.
-    adaptive_policy: Optional[GMRESErrorBoundPolicy] = None
+    #: Error-bound selection policy applied at every checkpoint; only
+    #: meaningful for lossy schemes (exact schemes carry no bound).  ``None``
+    #: keeps the compressor's configured bound untouched.
+    bound_policy: Optional[ErrorBoundPolicy] = None
     #: Extra metadata carried into reports.
     description: str = ""
     _cached_compressor: Optional[Compressor] = field(
@@ -89,6 +97,7 @@ class CheckpointingScheme:
         compressor: str = "sz",
         adaptive: bool = False,
         safety_factor: float = 1.0,
+        bound_policy: "ErrorBoundPolicy | str | None" = None,
     ) -> "CheckpointingScheme":
         """Error-bounded lossy compression of the solution vector only.
 
@@ -96,28 +105,37 @@ class CheckpointingScheme:
         ----------
         error_bound:
             Fixed pointwise-relative bound (ignored at checkpoint time when
-            ``adaptive`` is set, but still used as the initial/default bound).
+            an adaptive policy resolves a bound, but still used as the
+            initial/default bound).
         compressor:
             ``"sz"`` (prediction-based, the paper's choice) or ``"zfp"``
             (transform-based ablation).
         adaptive:
-            Use the Theorem-3 policy ``eb = ||r||/||b||`` at every checkpoint
-            (the paper's GMRES setting).
+            Shorthand for ``bound_policy="residual_adaptive"`` — the
+            Theorem-3 policy ``eb = ||r||/||b||`` at every checkpoint (the
+            paper's GMRES setting).
+        bound_policy:
+            Explicit :class:`~repro.compression.errorbounds.ErrorBoundPolicy`
+            instance or registered policy name (``"fixed"``,
+            ``"value_range"``, ``"residual_adaptive"``).  Defaults to the
+            fixed policy at ``error_bound``.
         """
         if compressor not in ("sz", "zfp"):
             raise ValueError(f"lossy compressor must be 'sz' or 'zfp', got {compressor!r}")
         factory = lambda: make_compressor(compressor, error_bound=error_bound)  # noqa: E731
-        policy = GMRESErrorBoundPolicy(safety_factor=safety_factor) if adaptive else None
+        if bound_policy is None:
+            bound_policy = "residual_adaptive" if adaptive else "fixed"
+        if isinstance(bound_policy, str):
+            bound_policy = make_bound_policy(
+                bound_policy, error_bound=error_bound, safety_factor=safety_factor
+            )
         return cls(
             name="lossy",
             compressor_factory=factory,
             lossy=True,
             checkpoint_krylov_state=False,
-            adaptive_policy=policy,
-            description=(
-                f"lossy ({compressor}) checkpoints, "
-                + ("adaptive Theorem-3 bound" if adaptive else f"bound {error_bound!r}")
-            ),
+            bound_policy=bound_policy,
+            description=f"lossy ({compressor}) checkpoints, {bound_policy.describe()} bound",
         )
 
     # -- helpers -----------------------------------------------------------------
@@ -132,24 +150,40 @@ class CheckpointingScheme:
             self._cached_compressor = self.compressor_factory()
         return self._cached_compressor
 
-    def checkpoint_compressor(
-        self, *, residual_norm: Optional[float] = None, b_norm: Optional[float] = None
-    ) -> Compressor:
-        """Compressor to use for the next checkpoint.
+    @property
+    def adaptive_policy(self) -> Optional[ResidualAdaptiveBoundPolicy]:
+        """The residual-adaptive policy when one is configured (else ``None``).
 
-        Applies the adaptive Theorem-3 policy when configured and the current
-        residual information is available.
+        Backward-compatible view of :attr:`bound_policy` for call sites that
+        only care whether the Theorem-3 adaptive bound is in effect.
+        """
+        if isinstance(self.bound_policy, ResidualAdaptiveBoundPolicy):
+            return self.bound_policy
+        return None
+
+    def checkpoint_compressor(
+        self,
+        *,
+        residual_norm: Optional[float] = None,
+        b_norm: Optional[float] = None,
+        variable: str = "x",
+    ) -> Compressor:
+        """Compressor to use for ``variable`` at the next checkpoint.
+
+        Resolves the scheme's :attr:`bound_policy` against the current solver
+        state (Theorem-3 adaptive bounds need the residual information); a
+        policy that abstains — or a compressor without error bounds — leaves
+        the base compressor untouched.
         """
         base = self.compressor()
-        if (
-            self.adaptive_policy is not None
-            and residual_norm is not None
-            and b_norm is not None
-            and hasattr(base, "with_error_bound")
-        ):
-            bound = self.adaptive_policy.error_bound(residual_norm, b_norm)
-            return base.with_error_bound(bound)
-        return base
+        if self.bound_policy is None or not hasattr(base, "with_error_bound"):
+            return base
+        bound = self.bound_policy.resolve(
+            variable=variable, residual_norm=residual_norm, b_norm=b_norm
+        )
+        if bound is None:
+            return base
+        return base.with_error_bound(bound)
 
     def dynamic_vector_count(self, method: "Union[str, IterativeSolver]") -> int:
         """How many full-length dynamic vectors this scheme checkpoints.

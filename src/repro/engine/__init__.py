@@ -14,8 +14,9 @@ a typed state:
 * :mod:`repro.engine.report` — :class:`~repro.engine.report.FTRunReport` and
   the failure-free baseline.
 
-``repro.core.runner`` remains the backward-compatible import surface
-(``FaultTolerantRunner`` is the engine under its historical name).
+``repro.core.runner`` remains as a *deprecated* compatibility shim —
+accessing its ``FaultTolerantRunner`` emits a ``DeprecationWarning``; import
+:class:`~repro.engine.core.FaultToleranceEngine` from here instead.
 """
 
 from repro.engine.core import CheckpointRecord, EngineState, FaultToleranceEngine

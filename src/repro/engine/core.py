@@ -20,11 +20,17 @@ checks:
   the FTI level cycle of
   :class:`~repro.checkpoint.multilevel.MultilevelCheckpointStore`, cheap
   levels may not survive a failure, and a recovery is priced at the level of
-  the checkpoint it actually restores instead of always charging a PFS read.
+  the checkpoint it actually restores instead of always charging a PFS read;
+* every checkpoint is written and restored through the single
+  :class:`~repro.checkpoint.pipeline.CheckpointPipeline`: the solver's
+  declared state is compressed per variable, packed into one serialized
+  payload, and — under the default ``measured`` costing — priced from that
+  payload's measured per-variable byte sizes instead of the historical
+  ``vector_bytes × dynamic_vector_count`` estimate.
 
-The default :class:`~repro.engine.scenario.Scenario` reproduces the original
-runner's reports byte-for-byte (pinned by the engine-equivalence test
-suite).
+The ``modeled`` Poisson/PFS :class:`~repro.engine.scenario.Scenario`
+reproduces the original runner's reports byte-for-byte (pinned by the
+engine-equivalence test suite).
 
 Semantics of one failure-injected run
 -------------------------------------
@@ -47,8 +53,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.checkpoint.multilevel import MultilevelCheckpointStore, MultilevelPolicy
+from repro.checkpoint.pipeline import CheckpointPipeline, PipelineSnapshot
 from repro.cluster.machine import ClusterModel
-from repro.compression.base import CompressedBlob
 from repro.engine.events import (
     CheckpointDiscardedEvent,
     CheckpointTakenEvent,
@@ -93,9 +99,12 @@ class CheckpointRecord:
 
     checkpoint_id: int
     iteration: int
-    x_blob: CompressedBlob
-    resume_state: Optional[ResumeState]
+    #: The serialized pipeline payload plus its measured per-variable bytes.
+    snapshot: PipelineSnapshot
     compression_ratio: float
+    #: Bytes this checkpoint was *priced* at (measured payload bytes scaled
+    #: to paper size under ``measured`` costing; the historical
+    #: ``vector_bytes × n_vectors / ratio(x)`` estimate under ``modeled``).
     model_uncompressed_bytes: float
     model_compressed_bytes: float
     #: Cumulative compute seconds when this checkpoint completed — the anchor
@@ -248,6 +257,7 @@ class FaultToleranceEngine:
         self._clock: VirtualClock = VirtualClock()
         self._injector = None
         self._store: Optional[MultilevelCheckpointStore] = None
+        self._pipeline: Optional[CheckpointPipeline] = None
         self._state: EngineState = EngineState(
             next_checkpoint_due=self.checkpoint_interval_seconds
         )
@@ -263,6 +273,9 @@ class FaultToleranceEngine:
         self._injector = self.scenario.build_injector(self.mtti_seconds, self.seed)
         self._store = self.scenario.build_multilevel_store(
             self.seed, policy=self.multilevel_policy
+        )
+        self._pipeline = CheckpointPipeline(
+            self.scheme, solver=self.solver, store=self._store
         )
         self._vectors = self.scheme.dynamic_vector_count(self.solver)
         self.events = EventLog() if self.record_events else None
@@ -350,13 +363,18 @@ class FaultToleranceEngine:
                 iteration_offset = 0
                 restarts_from_scratch += 1
             else:
-                compressor = self.scheme.compressor()
-                x_current = np.asarray(
-                    compressor.decompress(last.x_blob), dtype=np.float64
+                # One restore path for every read — the in-memory record and
+                # a multilevel fallback carry the same serialized payload, so
+                # the lossy rollback distortion happens inside the pipeline.
+                restored = self._pipeline.restore(
+                    last.checkpoint_id, payload=last.snapshot.payload
                 )
+                x_current = restored.x
                 iteration_offset = last.iteration
                 resume = (
-                    last.resume_state if self.scheme.checkpoint_krylov_state else None
+                    restored.resume_state
+                    if self.scheme.checkpoint_krylov_state
+                    else None
                 )
             if (
                 self.max_total_iterations is not None
@@ -459,24 +477,44 @@ class FaultToleranceEngine:
             state.next_checkpoint_due = clock.now + self.checkpoint_interval_seconds
 
     def _on_checkpoint(self, it_state: IterationState) -> None:
-        """Checkpoint event: compress the state, advance the modeled cost.
+        """Checkpoint event: run the pipeline, advance the priced cost.
 
-        A failure landing inside the checkpoint window discards the
-        incomplete checkpoint (the previous complete one remains valid);
-        under the lossy scheme it also interrupts the solve, matching the
-        paper's methodology where failures may occur during the
-        checkpoint/recovery period.
+        The full payload — iterate, declared resume vectors, scalars — is
+        materialized and serialized through the
+        :class:`~repro.checkpoint.pipeline.CheckpointPipeline` *before* the
+        write is priced, so the cost can come from what the checkpoint
+        actually contains.  A failure landing inside the checkpoint window
+        discards the incomplete checkpoint (the previous complete one remains
+        valid, and nothing is committed to the store); under the lossy scheme
+        it also interrupts the solve, matching the paper's methodology where
+        failures may occur during the checkpoint/recovery period.
         """
         clock = self._clock
         state = self._state
-        compressor = self.scheme.checkpoint_compressor(
-            residual_norm=it_state.residual_norm, b_norm=self.b_norm
+        resume = (
+            self.solver.capture_resume_state(it_state)
+            if self.scheme.checkpoint_krylov_state
+            else None
         )
-        x_blob = compressor.compress(it_state.x)
-        ratio = x_blob.compression_ratio
+        snapshot = self._pipeline.snapshot(
+            it_state.x,
+            iteration=it_state.iteration,
+            resume_state=resume,
+            residual_norm=it_state.residual_norm,
+            b_norm=self.b_norm,
+            checkpoint_id=state.num_checkpoints,
+        )
 
-        model_uncompressed = self.scale.vector_bytes * self._vectors
-        model_compressed = model_uncompressed / max(ratio, 1e-12)
+        if self.scenario.measured:
+            model_uncompressed, model_compressed = snapshot.scaled_bytes(self.scale)
+            ratio = model_uncompressed / max(model_compressed, 1e-12)
+        else:
+            # Historical modeled estimate: every dynamic vector priced at the
+            # iterate's compression ratio (byte-compatible with the frozen
+            # pre-pipeline runner).
+            ratio = snapshot.ratio_of("x")
+            model_uncompressed = self.scale.vector_bytes * self._vectors
+            model_compressed = model_uncompressed / max(ratio, 1e-12)
         level: Optional[int] = None
         write_multiplier = 1.0
         if self._store is not None:
@@ -495,7 +533,7 @@ class FaultToleranceEngine:
         state.checkpoint_times.append(ckpt_seconds)
         failure_time = self._injector.failure_in(start, clock.now)
         if failure_time is not None:
-            # Incomplete checkpoint: do not record it.
+            # Incomplete checkpoint: do not record or commit it.
             self._record(
                 CheckpointDiscardedEvent(time=clock.now, iteration=it_state.iteration)
             )
@@ -516,16 +554,10 @@ class FaultToleranceEngine:
             self._on_inline_failure(failure_time, "checkpoint")
             return
 
-        resume = (
-            self.solver.capture_resume_state(it_state)
-            if self.scheme.checkpoint_krylov_state
-            else None
-        )
         record = CheckpointRecord(
             checkpoint_id=state.num_checkpoints,
             iteration=it_state.iteration,
-            x_blob=x_blob,
-            resume_state=resume,
+            snapshot=snapshot,
             compression_ratio=ratio,
             model_uncompressed_bytes=model_uncompressed,
             model_compressed_bytes=model_compressed,
@@ -533,7 +565,7 @@ class FaultToleranceEngine:
             level=level,
         )
         if self._store is not None:
-            self._store.write(record.checkpoint_id, x_blob.payload)
+            self._pipeline.commit(snapshot)
             record.level = int(self._store.level_of(record.checkpoint_id))
             state.records[record.checkpoint_id] = record
             self._prune_unreachable_records()
@@ -719,9 +751,13 @@ class FaultToleranceEngine:
             "mtti_seconds": self.mtti_seconds,
             "dynamic_vectors": self._vectors,
         }
-        if not self.scenario.is_default:
+        if not self.scenario.is_paper_regime:
             info["failure_model"] = self.scenario.failure_model
             info["recovery_levels"] = self.scenario.recovery_levels
+        if self.scenario.measured:
+            # Absent under modeled costing so the paper-regime reports stay
+            # byte-identical to the frozen pre-pipeline runner.
+            info["checkpoint_costing"] = "measured"
         if state.gave_up:
             info["gave_up"] = True
             info["give_up_reason"] = state.give_up_reason

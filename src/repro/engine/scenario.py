@@ -14,8 +14,15 @@ failure-injection methodology that the original runner hard-wired:
   checkpoints are cheap local/partner copies that may not survive a failure
   (falling back to an older, safer checkpoint costs extra rollback).
 
-The default scenario reproduces the paper byte-for-byte; the campaign grid
-exposes both knobs as axes (``failure_models`` × ``recovery_levels``).
+A third knob, **checkpoint costing**, selects how checkpoint/recovery bytes
+are priced: ``measured`` (the default) prices every checkpoint from the
+byte size of the serialized :class:`~repro.checkpoint.pipeline.
+CheckpointPipeline` payload it actually produced — each full-length vector
+scaled to paper size by its own measured compression ratio — while
+``modeled`` retains the historical ``vector_bytes × dynamic_vector_count /
+ratio(x)`` estimate.  The modeled Poisson/PFS regime reproduces the
+pre-pipeline runner byte-for-byte (pinned by the engine-equivalence suite);
+the campaign grid exposes all knobs as axes.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ __all__ = [
     "FAILURE_MODELS",
     "CAMPAIGN_FAILURE_MODELS",
     "RECOVERY_LEVELS",
+    "CHECKPOINT_COSTINGS",
     "DEFAULT_SCENARIO",
 ]
 
@@ -50,6 +58,10 @@ CAMPAIGN_FAILURE_MODELS = ("poisson", "weibull", "bursty")
 #: Recovery-level regimes a scenario (and the campaign grid) accepts.
 RECOVERY_LEVELS = ("pfs", "fti")
 
+#: How checkpoint/recovery bytes are priced: from the measured serialized
+#: pipeline payload (default) or from the historical modeled estimate.
+CHECKPOINT_COSTINGS = ("measured", "modeled")
+
 _Params = Tuple[Tuple[str, object], ...]
 
 
@@ -65,6 +77,7 @@ class Scenario:
     failure_model: str = "poisson"
     recovery_levels: str = "pfs"
     failure_params: _Params = ()
+    checkpoint_costing: str = "measured"
 
     def __post_init__(self) -> None:
         if self.failure_model not in FAILURE_MODELS:
@@ -77,18 +90,38 @@ class Scenario:
                 f"unknown recovery levels {self.recovery_levels!r}; "
                 f"known: {RECOVERY_LEVELS}"
             )
+        if self.checkpoint_costing not in CHECKPOINT_COSTINGS:
+            raise ValueError(
+                f"unknown checkpoint costing {self.checkpoint_costing!r}; "
+                f"known: {CHECKPOINT_COSTINGS}"
+            )
         object.__setattr__(
             self, "failure_params", tuple((str(k), v) for k, v in self.failure_params)
         )
 
     @property
     def is_default(self) -> bool:
-        """True for the paper's regime (Poisson arrivals, PFS-only recovery)."""
+        """True for the default regime (Poisson, PFS-only, measured bytes)."""
+        return self.is_paper_regime and self.measured
+
+    @property
+    def is_paper_regime(self) -> bool:
+        """Poisson arrivals + PFS-only recovery, whatever the costing mode.
+
+        The modeled variant of this regime is what the frozen pre-pipeline
+        runner priced, so its reports carry no scenario info keys — keeping
+        them byte-identical to the legacy reference.
+        """
         return (
             self.failure_model == "poisson"
             and self.recovery_levels == "pfs"
             and not self.failure_params
         )
+
+    @property
+    def measured(self) -> bool:
+        """True when checkpoints are priced from measured payload bytes."""
+        return self.checkpoint_costing == "measured"
 
     @property
     def multilevel(self) -> bool:
@@ -143,6 +176,7 @@ class Scenario:
             "failure_model": self.failure_model,
             "recovery_levels": self.recovery_levels,
             "failure_params": [[k, v] for k, v in self.failure_params],
+            "checkpoint_costing": self.checkpoint_costing,
         }
 
     @classmethod
@@ -154,8 +188,11 @@ class Scenario:
             failure_params=tuple(
                 (str(k), v) for k, v in data.get("failure_params", [])
             ),
+            checkpoint_costing=str(data.get("checkpoint_costing", "measured")),
         )
 
 
-#: The paper's regime: homogeneous Poisson failures, PFS-only recovery.
+#: The default regime: homogeneous Poisson failures, PFS-only recovery,
+#: measured-payload checkpoint costing.  The paper's original modeled pricing
+#: remains available as ``Scenario(checkpoint_costing="modeled")``.
 DEFAULT_SCENARIO = Scenario()

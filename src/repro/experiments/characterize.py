@@ -6,20 +6,26 @@ then feeds those numbers into the optimal-interval experiments (Section 5.4).
 These helpers reproduce that two-step methodology:
 
 * :func:`measure_scheme_ratio` runs the solver failure-free, samples the
-  iterate at a few points of the run, pushes each sample through the scheme's
-  compressor and returns the mean compression ratio actually achieved;
-* :func:`scheme_timings` converts a measured ratio into modeled paper-scale
-  checkpoint and recovery seconds via the cluster model.
+  iterate at a few points of the run and pushes each sample through the
+  :class:`~repro.checkpoint.pipeline.CheckpointPipeline` — so the measured
+  characterization covers the *whole* serialized payload (the iterate, the
+  declared exact-resume vectors with their own per-variable ratios, the
+  scalars and the serialization index), not just ``x``;
+* :func:`scheme_timings` converts the historical single-ratio estimate into
+  modeled paper-scale checkpoint/recovery seconds, while
+  :func:`measured_checkpoint_bytes` / :func:`measured_scheme_timings` price
+  the measured payload per variable (what Table 3 and Figures 4-6 report).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.campaign.spec import RunSpec
+from repro.checkpoint.pipeline import CheckpointPipeline, scaled_payload_bytes
 from repro.cluster.machine import ClusterModel
 from repro.core.model import CheckpointTimings
 from repro.core.scale import ExperimentScale
@@ -30,26 +36,43 @@ __all__ = [
     "SchemeCharacterization",
     "measure_scheme_ratio",
     "scheme_timings",
+    "measured_checkpoint_bytes",
+    "measured_scheme_timings",
     "standard_schemes",
     "characterize_cells",
     "characterization_from_result",
 ]
 
-
 @dataclass
 class SchemeCharacterization:
-    """Measured compression behaviour of one scheme on one solver run."""
+    """Measured pipeline-payload behaviour of one scheme on one solver run."""
 
     scheme: str
     method: str
+    #: Mean compression ratio of the iterate ``x`` (the paper's headline
+    #: number, and what the historical modeled estimate multiplies out).
     mean_ratio: float
     ratios: List[float]
     baseline_iterations: int
+    #: Mean measured ratio per full-length vector variable of the payload
+    #: (``x`` plus the scheme's declared exact-resume vectors).
+    variable_ratios: Dict[str, float] = field(default_factory=dict)
+    #: Exactly-stored scalar/counter entries per payload.
+    scalar_count: int = 1
+    #: Mean serialization-index bytes per payload (absolute, scale-free).
+    overhead_bytes: float = 0.0
+    #: Serialized payload size of each sample (local, reduced-size bytes).
+    payload_bytes: List[int] = field(default_factory=list)
 
     @property
     def min_ratio(self) -> float:
         """Smallest per-sample ratio (the most conservative checkpoint)."""
         return float(min(self.ratios)) if self.ratios else 1.0
+
+    @property
+    def vector_count(self) -> int:
+        """Full-length vectors one measured payload stores."""
+        return max(1, len(self.variable_ratios))
 
 
 def measure_scheme_ratio(
@@ -61,11 +84,14 @@ def measure_scheme_ratio(
     sample_fractions: Sequence[float] = (0.25, 0.5, 0.75),
     x0: Optional[np.ndarray] = None,
 ) -> SchemeCharacterization:
-    """Measure the scheme's compression ratio on representative iterates.
+    """Measure the scheme's full checkpoint payload on representative iterates.
 
-    The solver is run once failure-free; the iterate is captured at the given
-    fractions of the run and compressed with the scheme's compressor (using
-    the adaptive Theorem-3 bound where the scheme defines one).
+    The solver is run once failure-free; at the given fractions of the run
+    the full iteration state (iterate + declared resume state) is captured
+    and pushed through a :class:`~repro.checkpoint.pipeline.
+    CheckpointPipeline` snapshot under the scheme — including the resolved
+    error-bound policy — yielding per-variable measured ratios and the
+    serialized payload size.
     """
     b = np.asarray(b, dtype=np.float64)
     baseline = solver.solve(b, x0=x0)
@@ -74,26 +100,44 @@ def measure_scheme_ratio(
         {max(1, min(n_iters - 1, int(round(f * n_iters)))) for f in sample_fractions}
     ) or [1]
 
-    snapshots: Dict[int, tuple] = {}
+    snapshots: Dict[int, object] = {}
 
     def capture(state) -> None:
         if state.iteration in wanted:
-            snapshots[state.iteration] = (state.x, state.residual_norm)
+            snapshots[state.iteration] = state
 
     wanted = set(targets)
     solver.solve(b, x0=x0, callback=capture)
 
     b_norm = float(np.linalg.norm(b))
+    pipeline = CheckpointPipeline(scheme, solver=solver)
     ratios: List[float] = []
+    payload_bytes: List[int] = []
+    per_variable: Dict[str, List[float]] = {}
+    overheads: List[int] = []
+    scalar_count = 1
     for iteration in targets:
         if iteration not in snapshots:
             continue
-        x_sample, residual_norm = snapshots[iteration]
-        compressor = scheme.checkpoint_compressor(
-            residual_norm=residual_norm, b_norm=b_norm
+        state = snapshots[iteration]
+        resume = (
+            solver.capture_resume_state(state)
+            if scheme.checkpoint_krylov_state
+            else None
         )
-        blob = compressor.compress(x_sample)
-        ratios.append(blob.compression_ratio)
+        snap = pipeline.snapshot(
+            state.x,
+            iteration=state.iteration,
+            resume_state=resume,
+            residual_norm=state.residual_norm,
+            b_norm=b_norm,
+        )
+        ratios.append(snap.ratio_of("x"))
+        payload_bytes.append(snap.serialized_bytes)
+        overheads.append(snap.overhead_bytes)
+        scalar_count = sum(1 for v in snap.variables if v.kind != "vector")
+        for name, ratio in snap.variable_ratios().items():
+            per_variable.setdefault(name, []).append(ratio)
     if not ratios:
         ratios = [1.0]
     return SchemeCharacterization(
@@ -102,6 +146,12 @@ def measure_scheme_ratio(
         mean_ratio=float(np.mean(ratios)),
         ratios=ratios,
         baseline_iterations=baseline.iterations,
+        variable_ratios={
+            name: float(np.mean(values)) for name, values in per_variable.items()
+        },
+        scalar_count=int(scalar_count),
+        overhead_bytes=float(np.mean(overheads)) if overheads else 0.0,
+        payload_bytes=payload_bytes,
     )
 
 
@@ -123,6 +173,66 @@ def scheme_timings(
     vectors = scheme.dynamic_vector_count(method)
     uncompressed = scale.vector_bytes * vectors
     compressed = uncompressed / ratio
+    checkpoint_seconds = cluster.checkpoint_seconds(
+        uncompressed, compressed, compressed=scheme.uses_compression
+    )
+    recovery_seconds = cluster.recovery_seconds(
+        uncompressed,
+        compressed,
+        static_bytes=scale.static_bytes,
+        compressed=scheme.uses_compression,
+    )
+    return CheckpointTimings(
+        checkpoint_seconds=checkpoint_seconds, recovery_seconds=recovery_seconds
+    )
+
+
+def measured_checkpoint_bytes(
+    char: SchemeCharacterization,
+    scale: ExperimentScale,
+    *,
+    fallback_vectors: int = 1,
+) -> Tuple[float, float]:
+    """``(uncompressed, compressed)`` bytes of one measured payload at scale.
+
+    Every full-length vector is scaled by its *own* measured ratio (a
+    BiCGSTAB-exact payload prices five differently-compressible vectors, not
+    five copies of ``x``), via the same
+    :func:`~repro.checkpoint.pipeline.scaled_payload_bytes` rule the engine
+    prices runs with.  When the characterization predates per-variable
+    measurement (e.g. a deserialized legacy result) it falls back to the
+    single-ratio estimate over ``fallback_vectors`` full vectors — pass the
+    scheme's ``dynamic_vector_count`` there, or the estimate undercounts
+    every multi-vector exact payload.
+    """
+    if not char.variable_ratios:
+        uncompressed = scale.vector_bytes * max(1, int(fallback_vectors))
+        return uncompressed, uncompressed / max(char.mean_ratio, 1e-12)
+    return scaled_payload_bytes(
+        scale,
+        char.variable_ratios,
+        scalar_count=char.scalar_count,
+        overhead_bytes=char.overhead_bytes,
+    )
+
+
+def measured_scheme_timings(
+    scheme: CheckpointingScheme,
+    char: SchemeCharacterization,
+    scale: ExperimentScale,
+    cluster: ClusterModel,
+) -> CheckpointTimings:
+    """Paper-scale checkpoint/recovery seconds of the measured payload.
+
+    The measured counterpart of :func:`scheme_timings`: bytes come from
+    :func:`measured_checkpoint_bytes` (per-variable serialized payload)
+    instead of ``vector_bytes × dynamic_vector_count / ratio(x)``.
+    """
+    uncompressed, compressed = measured_checkpoint_bytes(
+        char,
+        scale,
+        fallback_vectors=scheme.dynamic_vector_count(char.method),
+    )
     checkpoint_seconds = cluster.checkpoint_seconds(
         uncompressed, compressed, compressed=scheme.uses_compression
     )
@@ -185,4 +295,11 @@ def characterization_from_result(result) -> SchemeCharacterization:
         mean_ratio=float(result["mean_ratio"]),
         ratios=[float(r) for r in result["ratios"]],
         baseline_iterations=int(result["baseline_iterations"]),
+        variable_ratios={
+            str(k): float(v)
+            for k, v in dict(result.get("variable_ratios", {})).items()
+        },
+        scalar_count=int(result.get("scalar_count", 1)),
+        overhead_bytes=float(result.get("overhead_bytes", 0.0)),
+        payload_bytes=[int(b) for b in result.get("payload_bytes", [])],
     )

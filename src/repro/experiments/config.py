@@ -18,7 +18,13 @@ from typing import Dict, Tuple
 from repro.precond import JacobiPreconditioner
 from repro.sparse.kkt import KKTProblem, kkt_system
 from repro.sparse.poisson import PoissonProblem, poisson_system
-from repro.solvers import CGSolver, GMRESSolver, IterativeSolver, JacobiSolver
+from repro.solvers import (
+    BiCGStabSolver,
+    CGSolver,
+    GMRESSolver,
+    IterativeSolver,
+    JacobiSolver,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -109,6 +115,10 @@ def method_solver(
         return JacobiSolver(A, rtol=rtol, max_iter=config.max_iter)
     if method == "cg":
         return CGSolver(A, rtol=rtol, max_iter=config.max_iter)
+    if method == "bicgstab":
+        # Not one of the paper's three methods, but its five-vector exact
+        # checkpoint is the stress case for measured payload sizing.
+        return BiCGStabSolver(A, rtol=rtol, max_iter=config.max_iter)
     if method == "gmres":
         return GMRESSolver(
             A, rtol=rtol, restart=config.gmres_restart, max_iter=config.max_iter

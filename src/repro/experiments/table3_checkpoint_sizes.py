@@ -3,10 +3,13 @@
 For every weak-scaling configuration (256 ... 2,048 processes) and every
 method (Jacobi, GMRES, CG) the paper reports the per-process checkpoint size
 under traditional, lossless and lossy checkpointing.  The reproduction
-measures the compression ratio actually achieved by each scheme on the
-method's iterates (at reduced grid size) and converts it to a paper-scale
-per-process size: one (or two, for CG under exact schemes) full vectors per
-process divided by the measured ratio.
+pushes representative iterates through the full
+:class:`~repro.checkpoint.pipeline.CheckpointPipeline` (at reduced grid
+size) and converts the **measured serialized payload** to a paper-scale
+per-process size: every full-length vector the scheme stores (CG-exact: ``x``
+and ``p``; BiCGSTAB-exact: ``x`` plus its four recurrence vectors) is scaled
+by its *own* measured compression ratio, with the scalars and the
+serialization index counted at their absolute measured size.
 """
 
 from __future__ import annotations
@@ -17,7 +20,11 @@ from typing import Dict, List, Sequence, Tuple
 from repro.campaign.executor import run_campaign
 from repro.campaign.spec import RunSpec
 from repro.core.scale import paper_scale
-from repro.experiments.characterize import characterize_cells, standard_schemes
+from repro.experiments.characterize import (
+    characterization_from_result,
+    characterize_cells,
+    measured_checkpoint_bytes,
+)
 from repro.experiments.config import ExperimentConfig, SMALL_CONFIG
 from repro.utils.tables import format_table
 
@@ -31,12 +38,16 @@ PAPER_SCHEMES = ("traditional", "lossless", "lossy")
 
 @dataclass
 class Table3Result:
-    """Per-process checkpoint sizes (MB) and the ratios behind them."""
+    """Per-process checkpoint sizes (MB) and the measurements behind them."""
 
     process_counts: List[int]
     methods: List[str]
-    #: measured compression ratio per (method, scheme).
+    #: measured compression ratio of the iterate per (method, scheme).
     ratios: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: measured per-vector ratios of the full payload per (method, scheme).
+    variable_ratios: Dict[Tuple[str, str], Dict[str, float]] = field(
+        default_factory=dict
+    )
     #: per-process checkpoint size in MB per (process count, method, scheme).
     sizes_mb: Dict[Tuple[int, str, str], float] = field(default_factory=dict)
     #: paper-scale grid edge per process count.
@@ -72,25 +83,25 @@ def run_table3(
     outcome = run_campaign(
         table3_cells(config, methods=methods), n_workers=n_workers, cache=cache
     )
-    ratios: Dict[Tuple[str, str], float] = {}
+    characterizations = {}
     for cell, cell_result in zip(outcome.cells(), outcome.results()):
-        ratios[(cell.method, cell.scheme)] = float(cell_result["mean_ratio"])
-    result.ratios.update(ratios)
+        char = characterization_from_result(cell_result)
+        characterizations[(cell.method, cell.scheme)] = char
+        result.ratios[(cell.method, cell.scheme)] = char.mean_ratio
+        result.variable_ratios[(cell.method, cell.scheme)] = dict(
+            char.variable_ratios
+        )
 
-    # The per-scale sizes are pure model post-processing on the ratios: one
-    # (or two, for CG under exact schemes) full vectors divided by the ratio.
-    vector_counts = {
-        scheme.name: scheme for scheme in standard_schemes(config.error_bound)
-    }
+    # The per-scale sizes are post-processing on the measured payloads: each
+    # stored vector scaled by its own ratio, scalars/index at absolute size.
     for processes in result.process_counts:
         scale = paper_scale(processes)
         result.grid_n[processes] = scale.grid_n
         for method in result.methods:
             for scheme_name in PAPER_SCHEMES:
-                vectors = vector_counts[scheme_name].dynamic_vector_count(method)
-                per_process_bytes = (
-                    scale.vector_bytes * vectors / ratios[(method, scheme_name)] / processes
-                )
+                char = characterizations[(method, scheme_name)]
+                _, compressed = measured_checkpoint_bytes(char, scale)
+                per_process_bytes = compressed / processes
                 result.sizes_mb[(processes, method, scheme_name)] = per_process_bytes / _MB
     return result
 

@@ -167,3 +167,28 @@ class TestReport:
         table = CampaignReport(serial_result).table()
         assert "demo-test" in table
         assert "overhead_fraction" in table
+
+
+class TestSchemeBuilding:
+    def test_adaptive_upgrades_only_the_default_fixed_policy(self):
+        """The paper's GMRES adaptive default must not clobber an explicitly
+        swept error-bound policy (the cell would be mislabeled otherwise)."""
+        from types import SimpleNamespace
+
+        from repro.campaign.execute import _build_scheme
+
+        def cell(policy):
+            return SimpleNamespace(
+                scheme="lossy",
+                compressor="sz",
+                error_bound=1e-4,
+                adaptive=True,
+                error_bound_policy=policy,
+            )
+
+        assert _build_scheme(cell("fixed")).bound_policy.name == "residual_adaptive"
+        assert _build_scheme(cell("value_range")).bound_policy.name == "value_range"
+        assert (
+            _build_scheme(cell("residual_adaptive")).bound_policy.name
+            == "residual_adaptive"
+        )

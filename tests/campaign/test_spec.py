@@ -186,3 +186,65 @@ class TestScenarioAxis:
         rebuilt = CampaignSpec.from_json(spec.to_json())
         assert rebuilt == spec
         assert rebuilt.expand() == spec.expand()
+
+
+class TestPolicyAndCostingAxes:
+    def test_runspec_rejects_unknown_policy_and_costing(self):
+        with pytest.raises(ValueError, match="unknown error-bound policy"):
+            RunSpec(error_bound_policy="per_variable")
+        with pytest.raises(ValueError, match="unknown checkpoint costing"):
+            RunSpec(checkpoint_costing="guessed")
+
+    def test_policy_and_costing_change_cache_key(self):
+        base = RunSpec()
+        assert base.error_bound_policy == "fixed"
+        assert base.checkpoint_costing == "measured"
+        assert base.cache_key() != base.with_overrides(
+            error_bound_policy="value_range"
+        ).cache_key()
+        assert base.cache_key() != base.with_overrides(
+            checkpoint_costing="modeled"
+        ).cache_key()
+
+    def test_pre_pipeline_dicts_load_defaults(self):
+        data = RunSpec().to_dict()
+        del data["error_bound_policy"]
+        del data["checkpoint_costing"]
+        rebuilt = RunSpec.from_dict(data)
+        assert rebuilt.error_bound_policy == "fixed"
+        assert rebuilt.checkpoint_costing == "measured"
+
+    def test_grid_expands_policy_and_costing_axes(self):
+        spec = CampaignSpec(
+            methods=("jacobi",),
+            schemes=("lossy",),
+            error_bound_policies=("fixed", "value_range", "residual_adaptive"),
+            checkpoint_costings=("measured", "modeled"),
+        )
+        cells = spec.expand()
+        assert len(cells) == 3 * 2
+        assert len(spec) == len(cells)
+        coords = {(c.error_bound_policy, c.checkpoint_costing) for c in cells}
+        assert len(coords) == 6
+        assert len({cell.cache_key() for cell in cells}) == len(cells)
+
+    def test_default_policy_and_costing_keep_historical_seeds(self):
+        # The new axes must not re-seed pre-pipeline campaigns: pinning the
+        # defaults expands to exactly the same cells as not mentioning them.
+        base = CampaignSpec(methods=("jacobi", "cg"), repetitions=3, seed=99)
+        pinned = CampaignSpec(
+            methods=("jacobi", "cg"),
+            repetitions=3,
+            seed=99,
+            error_bound_policies=("fixed",),
+            checkpoint_costings=("measured",),
+        )
+        assert base.expand() == pinned.expand()
+        # Non-default coordinates draw distinct seeds.
+        varied = CampaignSpec(
+            methods=("jacobi",),
+            error_bound_policies=("fixed", "value_range"),
+            checkpoint_costings=("measured", "modeled"),
+        )
+        cells = varied.expand()
+        assert len({c.seed for c in cells}) == len(cells)

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.cluster.machine import ClusterModel
-from repro.core.runner import FaultTolerantRunner, run_failure_free
+from repro.engine import FaultToleranceEngine as FaultTolerantRunner
+from repro.engine import run_failure_free
 from repro.core.scale import paper_scale
 from repro.core.schemes import CheckpointingScheme
 from repro.solvers import CGSolver, GMRESSolver, JacobiSolver

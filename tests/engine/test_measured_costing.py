@@ -1,0 +1,147 @@
+"""Measured-payload checkpoint costing (the pipeline-unification contract).
+
+The default scenario prices every checkpoint from the measured serialized
+:class:`~repro.checkpoint.pipeline.CheckpointPipeline` payload — each
+full-length vector scaled to paper size by its *own* compression ratio —
+while ``checkpoint_costing="modeled"`` retains the historical
+``vector_bytes × dynamic_vector_count / ratio(x)`` estimate.  The two must
+diverge exactly when per-variable compression ratios diverge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import ClusterModel
+from repro.core.scale import paper_scale
+from repro.core.schemes import CheckpointingScheme
+from repro.engine import (
+    FaultToleranceEngine,
+    Scenario,
+    run_failure_free,
+)
+from repro.solvers import BiCGStabSolver, CGSolver, JacobiSolver
+
+MEASURED = Scenario()
+MODELED = Scenario(checkpoint_costing="modeled")
+
+
+@pytest.fixture(scope="module")
+def setup(poisson_medium):
+    cluster = ClusterModel(num_processes=2048)
+    scale = paper_scale(2048)
+    return poisson_medium, cluster, scale
+
+
+def _run(setup, solver, scheme, method, scenario, **kwargs):
+    problem, cluster, scale = setup
+    baseline = run_failure_free(solver, problem.b)
+    defaults = dict(
+        cluster=cluster,
+        scale=scale,
+        mtti_seconds=None,
+        checkpoint_interval_seconds=300.0,
+        iteration_seconds=cluster.calibrated_iteration_time(
+            method, baseline.iterations
+        ),
+        method=method,
+        baseline=baseline,
+        seed=7,
+        scenario=scenario,
+    )
+    defaults.update(kwargs)
+    engine = FaultToleranceEngine(solver, problem.b, scheme, **defaults)
+    return engine, engine.run()
+
+
+def test_measured_is_the_default_scenario():
+    assert Scenario().checkpoint_costing == "measured"
+    assert Scenario().is_default
+    assert not MODELED.is_default
+    assert MODELED.is_paper_regime
+    with pytest.raises(ValueError, match="unknown checkpoint costing"):
+        Scenario(checkpoint_costing="guessed")
+    assert Scenario.from_dict(MODELED.to_dict()) == MODELED
+    # Pre-costing serialized scenarios load as the new default.
+    legacy = {"failure_model": "poisson", "recovery_levels": "pfs"}
+    assert Scenario.from_dict(legacy).checkpoint_costing == "measured"
+
+
+def test_measured_differs_from_modeled_when_variable_ratios_diverge(setup):
+    """Lossless CG stores x and p with different ratios: the modeled estimate
+    (two copies of x's ratio) cannot match the measured payload pricing."""
+    problem, _, _ = setup
+    solver = CGSolver(problem.A, rtol=1e-7, max_iter=20000)
+    scheme = CheckpointingScheme.lossless()
+    _, measured = _run(setup, solver, scheme, "cg", MEASURED)
+    _, modeled = _run(setup, solver, scheme, "cg", MODELED)
+    assert measured.converged and modeled.converged
+    assert measured.num_checkpoints == modeled.num_checkpoints
+    assert measured.mean_checkpoint_seconds != pytest.approx(
+        modeled.mean_checkpoint_seconds, rel=1e-6
+    )
+    # Same solve either way: only the checkpoint pricing moved.
+    assert measured.total_iterations == modeled.total_iterations
+    assert measured.info["checkpoint_costing"] == "measured"
+    assert "checkpoint_costing" not in modeled.info
+
+
+def test_measured_prices_every_declared_vector(setup):
+    """A BiCGSTAB-exact checkpoint is priced as five per-variable vectors."""
+    problem, _, scale = setup
+    solver = BiCGStabSolver(problem.A, rtol=1e-7, max_iter=20000)
+    engine, report = _run(
+        setup,
+        solver,
+        CheckpointingScheme.traditional(),
+        "bicgstab",
+        MEASURED,
+    )
+    assert report.converged
+    record = engine._state.last_checkpoint
+    assert record is not None
+    names = {m.name for m in record.snapshot.vector_measurements}
+    assert names == {"x", "r", "r_hat", "p", "v"}
+    # Uncompressed pricing is five full vectors (plus absolute scalar bytes).
+    assert record.model_uncompressed_bytes == pytest.approx(
+        5 * scale.vector_bytes, rel=1e-6
+    )
+    # The serialized payload really holds the recurrence scalars too.
+    restored = engine._pipeline.restore(payload=record.snapshot.payload)
+    assert restored.resume_state is not None
+    assert set(restored.resume_state.scalars) == {"rho_old", "alpha", "omega"}
+
+
+def test_measured_recovery_priced_from_measured_bytes(setup):
+    """Recovery reads flow through the same measured record bytes."""
+    problem, cluster, scale = setup
+    solver = JacobiSolver(problem.A, rtol=1e-4, max_iter=20000)
+    scheme = CheckpointingScheme.lossy(1e-4)
+    engine, report = _run(
+        setup,
+        solver,
+        scheme,
+        "jacobi",
+        MEASURED,
+        mtti_seconds=2000.0,
+        seed=3,
+    )
+    assert report.converged
+    record = engine._state.last_checkpoint
+    expected = cluster.recovery_seconds(
+        record.model_uncompressed_bytes,
+        record.model_compressed_bytes,
+        static_bytes=scale.static_bytes,
+        compressed=True,
+    )
+    assert engine._recovery_seconds(record) == pytest.approx(expected, rel=1e-12)
+
+
+def test_modeled_and_measured_agree_numerically_not_in_time(setup):
+    """Costing changes when checkpoints happen in *time*, never the math:
+    with a fixed interval and no failures the residual traces coincide."""
+    problem, _, _ = setup
+    solver = CGSolver(problem.A, rtol=1e-7, max_iter=20000)
+    scheme = CheckpointingScheme.lossless()
+    _, measured = _run(setup, solver, scheme, "cg", MEASURED)
+    _, modeled = _run(setup, solver, scheme, "cg", MODELED)
+    assert measured.residual_trace == modeled.residual_trace

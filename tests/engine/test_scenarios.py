@@ -16,7 +16,8 @@ from repro.cluster.failures import (
     make_failure_model,
 )
 from repro.cluster.machine import ClusterModel
-from repro.core.runner import FaultTolerantRunner, run_failure_free
+from repro.engine import FaultToleranceEngine as FaultTolerantRunner
+from repro.engine import run_failure_free
 from repro.core.scale import paper_scale
 from repro.core.schemes import CheckpointingScheme
 from repro.engine import Scenario
