@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Sanity-check benchmark artifact schemas before CI uploads them.
+
+The nightly benchmarks workflow writes ``BENCH_pipeline.json`` /
+``BENCH_runner.json`` / ``BENCH_codec.json`` and uploads them as artifacts.
+A refactor that silently stops populating a section would still upload a
+syntactically valid — but empty — file, and the regression would only be
+noticed when someone reads the artifact weeks later.  This checker fails
+the job instead: each known artifact must parse, contain its expected
+sections, and carry positive measured rates.
+
+Usage::
+
+    python benchmarks/check_bench_schema.py BENCH_pipeline.json [more.json...]
+
+Exits non-zero with a per-file report when any check fails.  Not a pytest
+file on purpose: it validates artifacts of a *previous* run, so it must not
+be collected into the benchmark suite itself.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List
+
+
+def _positive(row: dict, key: str, errors: List[str], context: str) -> None:
+    value = row.get(key)
+    if not isinstance(value, (int, float)) or not value > 0:
+        errors.append(f"{context}: {key!r} should be a positive number, got {value!r}")
+
+
+def check_pipeline(data: dict) -> List[str]:
+    """``BENCH_pipeline.json``: scheme x solver snapshot/restore throughput."""
+    errors: List[str] = []
+    combos = data.get("combinations")
+    if not isinstance(combos, dict) or not combos:
+        return ["'combinations' must be a non-empty object"]
+    for name, row in combos.items():
+        if not isinstance(row, dict):
+            errors.append(f"combination {name!r} is not an object")
+            continue
+        for key in ("snapshot_mb_per_s", "restore_mb_per_s", "checkpoints_per_s",
+                    "payload_bytes", "dynamic_bytes"):
+            _positive(row, key, errors, f"combination {name!r}")
+        for key in ("scheme", "method"):
+            if not row.get(key):
+                errors.append(f"combination {name!r}: missing {key!r}")
+    schemes = {row.get("scheme") for row in combos.values() if isinstance(row, dict)}
+    if len(schemes) < 2:
+        errors.append(f"expected several schemes, found {sorted(map(str, schemes))}")
+    return errors
+
+
+def check_runner(data: dict) -> List[str]:
+    """``BENCH_runner.json``: per-scenario event-loop throughput."""
+    errors: List[str] = []
+    scenarios = data.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        return ["'scenarios' must be a non-empty object"]
+    for name, row in scenarios.items():
+        if not isinstance(row, dict):
+            errors.append(f"scenario {name!r} is not an object")
+            continue
+        _positive(row, "iterations_per_second", errors, f"scenario {name!r}")
+        _positive(row, "total_iterations", errors, f"scenario {name!r}")
+        if row.get("converged") is not True:
+            errors.append(f"scenario {name!r}: run did not converge")
+    modes = {name.endswith("-async") for name in scenarios}
+    if modes != {True, False}:
+        errors.append("expected both blocking and -async scenario series")
+    return errors
+
+
+def check_codec(data: dict) -> List[str]:
+    """``BENCH_codec.json``: per-workload codec-vs-legacy measurements."""
+    errors: List[str] = []
+    workloads = data.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        return ["'workloads' must be a non-empty object"]
+    for name, rows in workloads.items():
+        if not isinstance(rows, dict):
+            errors.append(f"workload {name!r} is not an object")
+            continue
+        for encoder in ("legacy", "codec"):
+            row = rows.get(encoder)
+            if not isinstance(row, dict):
+                errors.append(f"workload {name!r}: missing {encoder!r} row")
+                continue
+            for key in ("ratio", "encode_mbps", "decode_mbps"):
+                _positive(row, key, errors, f"workload {name!r}/{encoder}")
+    return errors
+
+
+CHECKERS: Dict[str, Callable[[dict], List[str]]] = {
+    "BENCH_pipeline.json": check_pipeline,
+    "BENCH_runner.json": check_runner,
+    "BENCH_codec.json": check_codec,
+}
+
+
+def check_file(path: Path) -> List[str]:
+    """All schema errors for one artifact (empty list = valid)."""
+    try:
+        checker = CHECKERS[path.name]
+    except KeyError:
+        return [f"no schema registered for {path.name!r} "
+                f"(known: {sorted(CHECKERS)})"]
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        return [f"cannot read: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"not valid JSON: {exc}"]
+    if not isinstance(data, dict):
+        return ["top level must be a JSON object"]
+    return checker(data)
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(f"usage: {Path(__file__).name} BENCH_*.json [BENCH_*.json ...]",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for name in argv:
+        errors = check_file(Path(name))
+        if errors:
+            failed = True
+            print(f"FAIL {name}")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"ok   {name}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

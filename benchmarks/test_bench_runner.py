@@ -10,8 +10,12 @@ measured:
   (recovery + rollback are pure clock arithmetic),
 * ``lossy-poisson`` — the paper's lossy scheme with solve interrupts and
   restarts,
-* ``lossy-weibull-fti`` — the heaviest path: clustered failures plus
-  multilevel checkpoint bookkeeping and survival draws.
+* ``lossy-weibull-fti`` — the heaviest blocking path: clustered failures
+  plus multilevel checkpoint bookkeeping and survival draws,
+* ``traditional-poisson-async`` / ``lossy-poisson-async`` — the two-channel
+  timeline: overlapped I/O-channel drains, dirty-write settlement and
+  incremental delta payloads, so the event loop's throughput is tracked for
+  both write modes.
 
 Numbers go to ``BENCH_runner.json`` (override with the ``BENCH_RUNNER_JSON``
 environment variable); the nightly benchmarks workflow uploads the file as
@@ -43,6 +47,14 @@ _SCENARIOS = {
     "lossy-weibull-fti": (
         lambda: CheckpointingScheme.lossy(1e-4),
         Scenario(failure_model="weibull", recovery_levels="fti"),
+    ),
+    "traditional-poisson-async": (
+        CheckpointingScheme.traditional,
+        Scenario(write_mode="async"),
+    ),
+    "lossy-poisson-async": (
+        lambda: CheckpointingScheme.lossy(1e-4),
+        Scenario(write_mode="async"),
     ),
 }
 

@@ -77,6 +77,24 @@ def _error_bound_sweep() -> CampaignSpec:
     )
 
 
+def _async_vs_blocking() -> CampaignSpec:
+    """Overlapped (async) vs stop-the-world checkpoint writes per scheme.
+
+    Sweeps ``write_mode x checkpoint_costing`` over the paper's three schemes
+    so the overhead reduction from draining checkpoint writes on the I/O
+    channel can be read per scheme under both pricing regimes.
+    """
+    return CampaignSpec(
+        name="async-vs-blocking",
+        kind="ft",
+        methods=("jacobi",),
+        schemes=("traditional", "lossless", "lossy"),
+        write_modes=("blocking", "async"),
+        checkpoint_costings=("measured", "modeled"),
+        repetitions=3,
+    )
+
+
 def _mtti_sweep() -> CampaignSpec:
     """Lossy vs traditional as the machine gets less reliable."""
     return CampaignSpec(
@@ -94,6 +112,7 @@ PRESETS: Dict[str, object] = {
     "demo": demo_campaign,
     "scheme-sweep": _scheme_sweep,
     "error-bound-sweep": _error_bound_sweep,
+    "async-vs-blocking": _async_vs_blocking,
     "mtti-sweep": _mtti_sweep,
 }
 

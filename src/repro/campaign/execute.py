@@ -282,13 +282,17 @@ def _run_ft(cell) -> Dict[str, object]:
     scheme's checkpoint cost is characterized first, then Young's formula maps
     it to the interval (unless the cell pins an explicit interval).  The
     cell's scenario coordinates (failure model x recovery levels x checkpoint
-    costing) select the engine regime; the default prices checkpoints from
-    the measured pipeline payload under the paper's Poisson/PFS setup.
+    costing x write mode) select the engine regime; the default prices
+    checkpoints from the measured pipeline payload under the paper's
+    blocking-write Poisson/PFS setup, while ``write_mode="async"`` runs the
+    two-channel timeline with overlapped drains and incremental payloads.
     """
     from repro.cluster.machine import ClusterModel
+    from repro.core.model import young_interval
     from repro.core.scale import paper_scale
     from repro.engine import FaultToleranceEngine, Scenario
     from repro.experiments.characterize import (
+        measured_checkpoint_bytes,
         measured_scheme_timings,
         scheme_timings,
     )
@@ -304,8 +308,20 @@ def _run_ft(cell) -> Dict[str, object]:
     # is optimized for the cost the run actually pays.
     if cell.checkpoint_costing == "measured":
         timings = measured_scheme_timings(scheme, char, scale, cluster)
+        ckpt_bytes = measured_checkpoint_bytes(
+            char, scale, fallback_vectors=scheme.dynamic_vector_count(cell.method)
+        )
     else:
         timings = scheme_timings(scheme, cell.method, char.mean_ratio, scale, cluster)
+        uncompressed = scale.vector_bytes * scheme.dynamic_vector_count(cell.method)
+        ckpt_bytes = (uncompressed, uncompressed / max(char.mean_ratio, 1e-12))
+    asynchronous = cell.write_mode == "async"
+    capture_seconds = drain_seconds = None
+    if asynchronous:
+        capture_seconds = cluster.capture_seconds(
+            ckpt_bytes[0], ckpt_bytes[1], compressed=scheme.uses_compression
+        )
+        drain_seconds = cluster.drain_seconds(ckpt_bytes[1])
     iteration_seconds = cluster.calibrated_iteration_time(
         cell.method, baseline.iterations
     )
@@ -315,7 +331,17 @@ def _run_ft(cell) -> Dict[str, object]:
             raise ValueError(
                 "a failure-free ft cell needs an explicit checkpoint interval"
             )
-        interval = timings.young_interval(cell.mtti_seconds)
+        if asynchronous:
+            # The solver's per-checkpoint stall is the capture plus the
+            # interference the drain inflicts on overlapped compute
+            # (``interference x drain`` seconds per checkpoint), so Young's
+            # formula is applied to that sum — floored by the drain time,
+            # since checkpointing faster than the I/O channel can flush just
+            # grows the dirty-write queue without adding recovery points.
+            stall = capture_seconds + cluster.async_interference * drain_seconds
+            interval = max(young_interval(stall, cell.mtti_seconds), drain_seconds)
+        else:
+            interval = timings.young_interval(cell.mtti_seconds)
 
     runner = FaultToleranceEngine(
         solver,
@@ -333,9 +359,16 @@ def _run_ft(cell) -> Dict[str, object]:
             failure_model=cell.failure_model,
             recovery_levels=cell.recovery_levels,
             checkpoint_costing=cell.checkpoint_costing,
+            write_mode=cell.write_mode,
         ),
     )
     report = runner.run()
+    result_extra = {}
+    if asynchronous:
+        result_extra = {
+            "estimated_capture_seconds": float(capture_seconds),
+            "estimated_drain_seconds": float(drain_seconds),
+        }
     return {
         "report": report.to_dict(),
         "overhead_fraction": float(report.overhead_fraction),
@@ -343,12 +376,14 @@ def _run_ft(cell) -> Dict[str, object]:
         "mean_ratio": float(char.mean_ratio),
         "estimated_checkpoint_seconds": float(timings.checkpoint_seconds),
         "estimated_recovery_seconds": float(timings.recovery_seconds),
+        **result_extra,
         "interval_seconds": float(interval),
         "iteration_seconds": float(iteration_seconds),
         "baseline_iterations": int(baseline.iterations),
         "failure_model": str(cell.failure_model),
         "recovery_levels": str(cell.recovery_levels),
         "checkpoint_costing": str(cell.checkpoint_costing),
+        "write_mode": str(cell.write_mode),
     }
 
 

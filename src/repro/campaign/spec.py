@@ -13,7 +13,8 @@ cells can be
 
 :class:`CampaignSpec` is the declarative grid {kind x method x scheme x
 compressor x error bound x error-bound policy x interval x MTTI x scenario
-(failure model x recovery levels x checkpoint costing) x scale x repetition}
+(failure model x recovery levels x checkpoint costing x write mode) x scale
+x repetition}
 that expands into the cell list;
 figure modules that need a heterogeneous or specially seeded cell list pass
 explicit ``cells`` instead of grid axes.
@@ -49,7 +50,9 @@ KINDS = (
 #: 4: the checkpoint pipeline made measured-payload costing the default (ft
 #: reports price per-variable serialized bytes) and characterization cells
 #: now carry per-variable ratios/overhead, changing cached cell results.
-CACHE_VERSION = 4
+#: 5: the two-channel engine timeline added the write-mode axis (blocking vs
+#: async overlapped drains with incremental delta payloads) to ft cells.
+CACHE_VERSION = 5
 
 _Params = Tuple[Tuple[str, object], ...]
 
@@ -96,6 +99,11 @@ class RunSpec:
         How checkpoint/recovery bytes are priced: ``"measured"`` (serialized
         pipeline payload, the default) or ``"modeled"`` (the historical
         ``vector_bytes × n_vectors`` estimate).
+    write_mode:
+        Which timeline checkpoint writes run on: ``"blocking"`` (the paper's
+        stop-the-world write, the default) or ``"async"`` (overlapped
+        I/O-channel drains with incremental delta payloads; see
+        :mod:`repro.engine.scenario`).
     num_processes:
         Paper-scale process count the cell is accounted at.
     mtti_seconds:
@@ -140,6 +148,7 @@ class RunSpec:
     failure_model: str = "poisson"
     recovery_levels: str = "pfs"
     checkpoint_costing: str = "measured"
+    write_mode: str = "blocking"
     checkpoint_interval_seconds: Optional[float] = None
     repetition: int = 0
     seed: int = 2018
@@ -159,6 +168,7 @@ class RunSpec:
             CAMPAIGN_FAILURE_MODELS,
             CHECKPOINT_COSTINGS,
             RECOVERY_LEVELS,
+            WRITE_MODES,
         )
 
         if self.failure_model not in CAMPAIGN_FAILURE_MODELS:
@@ -178,6 +188,10 @@ class RunSpec:
             raise ValueError(
                 f"unknown checkpoint costing {self.checkpoint_costing!r}; "
                 f"known: {CHECKPOINT_COSTINGS}"
+            )
+        if self.write_mode not in WRITE_MODES:
+            raise ValueError(
+                f"unknown write mode {self.write_mode!r}; known: {WRITE_MODES}"
             )
         if self.error_bound_policy not in BOUND_POLICIES:
             # "per_variable" is deliberately excluded: a cell cannot carry
@@ -215,6 +229,7 @@ class RunSpec:
             "failure_model": self.failure_model,
             "recovery_levels": self.recovery_levels,
             "checkpoint_costing": self.checkpoint_costing,
+            "write_mode": self.write_mode,
             "checkpoint_interval_seconds": (
                 None
                 if self.checkpoint_interval_seconds is None
@@ -272,6 +287,7 @@ class CampaignSpec:
     failure_models: Tuple[str, ...] = ("poisson",)
     recovery_levels: Tuple[str, ...] = ("pfs",)
     checkpoint_costings: Tuple[str, ...] = ("measured",)
+    write_modes: Tuple[str, ...] = ("blocking",)
     process_counts: Tuple[int, ...] = (2048,)
     repetitions: int = 1
     seed: int = 2018
@@ -298,6 +314,7 @@ class CampaignSpec:
         object.__setattr__(
             self, "checkpoint_costings", tuple(self.checkpoint_costings)
         )
+        object.__setattr__(self, "write_modes", tuple(self.write_modes))
         object.__setattr__(self, "process_counts", tuple(int(p) for p in self.process_counts))
         object.__setattr__(self, "rtols", _freeze_params(dict(self.rtols)))
         object.__setattr__(self, "params", _freeze_params(self.params))
@@ -325,24 +342,28 @@ class CampaignSpec:
                                     for failure_model in self.failure_models:
                                         for levels in self.recovery_levels:
                                             for costing in self.checkpoint_costings:
-                                                for procs in self.process_counts:
-                                                    for rep in range(self.repetitions):
-                                                        expanded.append(
-                                                            self._cell(
-                                                                method,
-                                                                scheme,
-                                                                compressor,
-                                                                eb,
-                                                                policy,
-                                                                interval,
-                                                                mtti,
-                                                                failure_model,
-                                                                levels,
-                                                                costing,
-                                                                procs,
-                                                                rep,
+                                                for mode in self.write_modes:
+                                                    for procs in self.process_counts:
+                                                        for rep in range(
+                                                            self.repetitions
+                                                        ):
+                                                            expanded.append(
+                                                                self._cell(
+                                                                    method,
+                                                                    scheme,
+                                                                    compressor,
+                                                                    eb,
+                                                                    policy,
+                                                                    interval,
+                                                                    mtti,
+                                                                    failure_model,
+                                                                    levels,
+                                                                    costing,
+                                                                    mode,
+                                                                    procs,
+                                                                    rep,
+                                                                )
                                                             )
-                                                        )
         return expanded
 
     def _cell(
@@ -357,6 +378,7 @@ class CampaignSpec:
         failure_model: str,
         recovery_levels: str,
         checkpoint_costing: str,
+        write_mode: str,
         procs: int,
         rep: int,
     ) -> RunSpec:
@@ -380,6 +402,8 @@ class CampaignSpec:
             salts += ["policy", error_bound_policy]
         if checkpoint_costing != "measured":
             salts += ["costing", checkpoint_costing]
+        if write_mode != "blocking":
+            salts += ["write_mode", write_mode]
         cell_seed = derive_seed(self.seed, *salts)
         return RunSpec(
             kind=self.kind,
@@ -394,6 +418,7 @@ class CampaignSpec:
             failure_model=failure_model,
             recovery_levels=recovery_levels,
             checkpoint_costing=checkpoint_costing,
+            write_mode=write_mode,
             checkpoint_interval_seconds=interval,
             repetition=rep,
             seed=cell_seed,
@@ -420,6 +445,7 @@ class CampaignSpec:
             * len(self.failure_models)
             * len(self.recovery_levels)
             * len(self.checkpoint_costings)
+            * len(self.write_modes)
             * len(self.process_counts)
             * self.repetitions
         )
@@ -440,6 +466,7 @@ class CampaignSpec:
             "failure_models": list(self.failure_models),
             "recovery_levels": list(self.recovery_levels),
             "checkpoint_costings": list(self.checkpoint_costings),
+            "write_modes": list(self.write_modes),
             "process_counts": list(self.process_counts),
             "repetitions": int(self.repetitions),
             "seed": int(self.seed),

@@ -29,11 +29,18 @@ from repro.checkpoint.multilevel import (
     MultilevelCheckpointStore,
 )
 from repro.checkpoint.pipeline import (
+    DEFAULT_KEYFRAME_INTERVAL,
     PIPELINE_VERSION,
     CheckpointPipeline,
     PipelineSnapshot,
     RestoredCheckpoint,
     VariableMeasurement,
+)
+from repro.checkpoint.delta import (
+    DELTA_COMPRESSOR,
+    delta_decode,
+    delta_encode,
+    is_delta_blob,
 )
 
 __all__ = [
@@ -57,4 +64,9 @@ __all__ = [
     "RestoredCheckpoint",
     "VariableMeasurement",
     "PIPELINE_VERSION",
+    "DEFAULT_KEYFRAME_INTERVAL",
+    "DELTA_COMPRESSOR",
+    "delta_encode",
+    "delta_decode",
+    "is_delta_blob",
 ]

@@ -143,15 +143,17 @@ class MultilevelCheckpointStore(CheckpointStore):
         self._store.delete(checkpoint_id)
 
     # -- multilevel-specific ---------------------------------------------------
-    def next_level(self) -> CheckpointLevel:
+    def next_level(self, offset: int = 0) -> CheckpointLevel:
         """Level the *next* new dynamic checkpoint will be written to.
 
         Lets a caller price a write before performing it (the fault-tolerance
         engine charges the level's cost even for an attempt that a failure
         later discards); the cycle itself only advances on an actual
-        :meth:`write`.
+        :meth:`write`.  ``offset`` peeks further ahead: an asynchronous engine
+        with ``offset`` checkpoints still draining prices the next write at
+        the level it will hold once those pending writes commit.
         """
-        return self.policy.level_for(self._dynamic_writes)
+        return self.policy.level_for(self._dynamic_writes + int(offset))
 
     def level_of(self, checkpoint_id: int) -> CheckpointLevel:
         """The level the given checkpoint was written to."""

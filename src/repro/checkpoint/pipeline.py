@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro.checkpoint.delta import delta_decode, delta_encode, is_delta_blob
 from repro.checkpoint.serialization import (
     CheckpointPayload,
     deserialize_checkpoint,
@@ -67,6 +68,7 @@ if TYPE_CHECKING:
 __all__ = [
     "PIPELINE_VERSION",
     "SCALAR_BYTES",
+    "DEFAULT_KEYFRAME_INTERVAL",
     "VariableMeasurement",
     "PipelineSnapshot",
     "RestoredCheckpoint",
@@ -80,6 +82,20 @@ PIPELINE_VERSION = 1
 
 #: Logical size of one exactly-stored scalar / 64-bit counter entry.
 SCALAR_BYTES = 8
+
+#: Every ``keyframe_interval``-th checkpoint id of an incremental pipeline is
+#: a full (non-delta) payload, bounding how far a restore chain can reach.
+DEFAULT_KEYFRAME_INTERVAL = 8
+
+#: How many committed payloads' reconstructions an incremental pipeline keeps
+#: as delta bases (far beyond the engine's one-level-cycle retention bound).
+_MAX_BASES = 32
+
+#: A delta only ships when it is at most this fraction of the full form.  A
+#: marginal delta (a few percent smaller) is a bad trade: it saves almost
+#: nothing on the drain but chains the restore through its base payload,
+#: roughly doubling the recovery read.
+DELTA_SHIP_THRESHOLD = 0.75
 
 
 def scaled_payload_bytes(
@@ -139,6 +155,15 @@ class PipelineSnapshot:
     iteration: int
     payload: bytes
     variables: List[VariableMeasurement] = field(default_factory=list)
+    #: Per-vector reconstructions (what a restorer of this payload will hold)
+    #: — populated only by incremental pipelines, where a committed snapshot
+    #: becomes the delta base of its successors.  Never serialized.
+    reconstructions: Dict[str, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Checkpoint id the payload's delta entries reference (``None`` for full
+    #: keyframe payloads).
+    base_id: Optional[int] = None
 
     @property
     def serialized_bytes(self) -> int:
@@ -228,6 +253,18 @@ class CheckpointPipeline:
     static:
         Optional mapping of static variables (``A`` component arrays, ``b``)
         snapshotted once by :meth:`snapshot_static` under id ``-1``.
+    incremental:
+        Enable delta payloads: each vector is delta-encoded against the last
+        *committed* payload (bitwise residuals through the v1 block codec,
+        see :mod:`repro.checkpoint.delta`) whenever the delta undercuts the
+        variable's full compressed form by :data:`DELTA_SHIP_THRESHOLD`,
+        with periodic full keyframes.
+        Exactly-stored variables delta on their raw values; the lossy ``x``
+        deltas on its bound-respecting reconstruction, so restores honour
+        the same bound with no accumulation across a chain.
+    keyframe_interval:
+        Every ``keyframe_interval``-th checkpoint id is forced to be a full
+        payload (:data:`DEFAULT_KEYFRAME_INTERVAL` by default).
     """
 
     _STATIC_ID = -1
@@ -240,6 +277,8 @@ class CheckpointPipeline:
         spec: Optional[CheckpointSpec] = None,
         store: Optional[CheckpointStore] = None,
         static: Optional[Mapping[str, np.ndarray]] = None,
+        incremental: bool = False,
+        keyframe_interval: int = DEFAULT_KEYFRAME_INTERVAL,
     ) -> None:
         if spec is None:
             if solver is None:
@@ -261,6 +300,16 @@ class CheckpointPipeline:
         )
         self._decompressors: Dict[str, Compressor] = {}
         self._next_id = 0
+        self.incremental = bool(incremental)
+        self.keyframe_interval = int(keyframe_interval)
+        if self.incremental and self.keyframe_interval < 1:
+            raise ValueError(
+                f"keyframe_interval must be >= 1, got {keyframe_interval}"
+            )
+        #: Reconstructions of committed payloads, keyed by checkpoint id —
+        #: the delta bases a restore of a dependent payload resolves against.
+        self._bases: Dict[int, Dict[str, np.ndarray]] = {}
+        self._last_committed_id: Optional[int] = None
 
     # -- registry materialization (the paper's Protect()) ---------------------
     def _materialize_registry(self) -> VariableRegistry:
@@ -335,6 +384,9 @@ class CheckpointPipeline:
                 "tag": tag,
             }
         )
+        base_id = self._delta_base_id(int(checkpoint_id))
+        reconstructions: Dict[str, np.ndarray] = {}
+        shipped_delta = False
         measurements: List[VariableMeasurement] = []
         for var in self.registry.by_role(VariableRole.DYNAMIC):
             value = var.current_value()
@@ -350,6 +402,21 @@ class CheckpointPipeline:
                     var.name, residual_norm=residual_norm, b_norm=b_norm
                 )
                 blob, _ = compressor.compress_with_record(value)
+                if self.incremental:
+                    # What a restorer of this payload will hold: the raw value
+                    # for exactly-stored variables, the compressor's
+                    # reconstruction for the lossy iterate.  The exact path
+                    # must copy — ``value`` may alias a solver buffer that
+                    # keeps mutating, and a delta base has to stay frozen.
+                    if self.scheme.stores_exactly(var.name):
+                        recon = np.array(value, dtype=np.float64, copy=True)
+                    else:
+                        recon = compressor.decompress(blob)
+                    reconstructions[var.name] = recon
+                    delta = self._try_delta(var.name, recon, base_id, blob)
+                    if delta is not None:
+                        blob = delta
+                        shipped_delta = True
                 payload.entries[var.name] = blob
                 measurements.append(
                     VariableMeasurement(
@@ -379,6 +446,8 @@ class CheckpointPipeline:
             iteration=int(iteration),
             payload=serialize_checkpoint(payload),
             variables=measurements,
+            reconstructions=reconstructions,
+            base_id=base_id if shipped_delta else None,
         )
 
     def commit(self, snapshot: PipelineSnapshot) -> Optional[WriteReceipt]:
@@ -386,8 +455,15 @@ class CheckpointPipeline:
 
         Kept separate from :meth:`snapshot` so the engine can price — and on
         a mid-write failure discard — a checkpoint without it ever becoming
-        restorable.
+        restorable.  Under :attr:`incremental` mode the committed snapshot's
+        reconstruction becomes the delta base of subsequent snapshots, store
+        or no store.
         """
+        if self.incremental and snapshot.checkpoint_id >= 0:
+            self._bases[snapshot.checkpoint_id] = snapshot.reconstructions
+            self._last_committed_id = snapshot.checkpoint_id
+            while len(self._bases) > _MAX_BASES:
+                del self._bases[next(iter(self._bases))]
         if self.store is None:
             return None
         return self.store.write(snapshot.checkpoint_id, snapshot.payload)
@@ -449,7 +525,12 @@ class CheckpointPipeline:
         entries: Dict[str, object] = {}
         for name, entry in parsed.entries.items():
             if isinstance(entry, CompressedBlob):
-                entries[name] = self._decompressor(entry.compressor).decompress(entry)
+                if is_delta_blob(entry):
+                    entries[name] = self._resolve_delta(name, entry)
+                else:
+                    entries[name] = self._decompressor(entry.compressor).decompress(
+                        entry
+                    )
             else:
                 entries[name] = entry
         if "x" not in entries:
@@ -485,6 +566,62 @@ class CheckpointPipeline:
         return dict(parsed.entries)
 
     # -- internals -------------------------------------------------------------
+    def _delta_base_id(self, checkpoint_id: int) -> Optional[int]:
+        """The committed payload a delta snapshot would reference, if any.
+
+        ``None`` forces a full keyframe: the pipeline is not incremental, no
+        payload has been committed yet, or the id falls on the periodic
+        keyframe cadence.
+        """
+        if not self.incremental or self._last_committed_id is None:
+            return None
+        if checkpoint_id >= 0 and checkpoint_id % self.keyframe_interval == 0:
+            return None
+        return self._last_committed_id
+
+    def _try_delta(
+        self,
+        name: str,
+        recon: np.ndarray,
+        base_id: Optional[int],
+        direct: CompressedBlob,
+    ) -> Optional[CompressedBlob]:
+        """Delta blob for ``recon`` against the committed base, if it wins.
+
+        Returns ``None`` when no base is available (keyframe), the base lacks
+        this variable or changed shape, or the delta does not beat the full
+        compressed form by at least :data:`DELTA_SHIP_THRESHOLD` — a restore
+        of a delta payload has to read its base chain too, so a marginal
+        saving on the write is not worth the chained recovery.
+        """
+        if base_id is None:
+            return None
+        base = self._bases.get(base_id, {}).get(name)
+        if base is None or base.shape != recon.shape:
+            return None
+        meta = {}
+        if "error_bound" in direct.meta:
+            meta["error_bound"] = direct.meta["error_bound"]
+        delta = delta_encode(
+            recon, base, base_id=base_id, inner=direct.compressor, meta=meta
+        )
+        if delta.nbytes > DELTA_SHIP_THRESHOLD * direct.nbytes:
+            return None
+        return delta
+
+    def _resolve_delta(self, name: str, blob: CompressedBlob) -> np.ndarray:
+        """Decode one delta entry against its committed base reconstruction."""
+        base_id = int(blob.meta["base_id"])
+        base = self._bases.get(base_id, {}).get(name)
+        if base is None:
+            raise KeyError(
+                f"cannot restore delta entry {name!r}: base checkpoint "
+                f"{base_id} is not available in this pipeline (incremental "
+                "payloads must be restored by the pipeline that committed "
+                "their base chain)"
+            )
+        return delta_decode(blob, base)
+
     def _compressor_for(
         self,
         name: str,

@@ -87,6 +87,13 @@ class MachineSpec:
     #: Per-core rate at which static variables (matrix/preconditioner/rhs) are
     #: regenerated during recovery (bytes of static data per second per core).
     static_rebuild_bandwidth_per_core: float = 50.0 * 1024.0**2
+    #: Per-core rate of staging a checkpoint into node-local memory / burst
+    #: buffer before an asynchronous drain (a memcpy-class operation, orders
+    #: of magnitude faster than the PFS).
+    staging_bandwidth_per_core: float = 2.0 * _GIB
+    #: Fractional compute slowdown while an asynchronous drain is in flight
+    #: (the background flush steals memory/network bandwidth from the solver).
+    async_compute_interference: float = 0.02
 
     def __post_init__(self) -> None:
         if self.nodes < 1 or self.cores_per_node < 1:
@@ -97,6 +104,8 @@ class MachineSpec:
         check_positive(
             self.static_rebuild_bandwidth_per_core, "static_rebuild_bandwidth_per_core"
         )
+        check_positive(self.staging_bandwidth_per_core, "staging_bandwidth_per_core")
+        check_nonnegative(self.async_compute_interference, "async_compute_interference")
 
     @property
     def total_cores(self) -> int:
@@ -215,6 +224,54 @@ class ClusterModel:
         if not compressed:
             return write
         return self.compression_seconds(uncompressed_bytes) + write
+
+    # -- asynchronous (overlapped) checkpointing --------------------------------
+    @property
+    def async_interference(self) -> float:
+        """Fractional compute slowdown while an async drain is in flight."""
+        return self.spec.async_compute_interference
+
+    def capture_seconds(
+        self,
+        uncompressed_bytes: float,
+        compressed_bytes: float,
+        *,
+        compressed: bool = True,
+    ) -> float:
+        """Inline (compute-channel) cost of staging one *asynchronous* checkpoint.
+
+        The solver still pays for compression and for copying the compressed
+        payload into node-local staging memory, but not for the PFS write —
+        that is drained in the background (:meth:`drain_seconds`) while
+        compute continues.
+        """
+        compressed_bytes = check_nonnegative(compressed_bytes, "compressed_bytes")
+        staging_rate = self.spec.staging_bandwidth_per_core * self.num_processes
+        staging = compressed_bytes / staging_rate
+        if not compressed:
+            return staging
+        return self.compression_seconds(uncompressed_bytes) + staging
+
+    def drain_seconds(
+        self,
+        compressed_bytes: float,
+        *,
+        write_cost_multiplier: float = 1.0,
+    ) -> float:
+        """I/O-channel time to drain one staged checkpoint to storage.
+
+        Prices the background flush of ``compressed_bytes`` at the PFS's
+        contended async bandwidth
+        (:attr:`~repro.cluster.pfs.PFSModel.async_bandwidth_fraction`);
+        ``write_cost_multiplier`` scales it for cheap multilevel targets,
+        exactly as in :meth:`checkpoint_seconds`.
+        """
+        drain = self.spec.pfs.drain_seconds(
+            compressed_bytes, num_processes=self.num_processes
+        )
+        if write_cost_multiplier != 1.0:
+            drain *= check_positive(write_cost_multiplier, "write_cost_multiplier")
+        return drain
 
     def recovery_seconds(
         self,

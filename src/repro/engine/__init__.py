@@ -19,11 +19,18 @@ accessing its ``FaultTolerantRunner`` emits a ``DeprecationWarning``; import
 :class:`~repro.engine.core.FaultToleranceEngine` from here instead.
 """
 
-from repro.engine.core import CheckpointRecord, EngineState, FaultToleranceEngine
+from repro.engine.core import (
+    CheckpointRecord,
+    EngineState,
+    FaultToleranceEngine,
+    PendingDrain,
+)
 from repro.engine.events import (
     CheckpointDiscardedEvent,
     CheckpointTakenEvent,
     ComputeEvent,
+    DrainCompletedEvent,
+    DrainStartedEvent,
     EngineEvent,
     EventLog,
     FailureHitEvent,
@@ -36,6 +43,7 @@ from repro.engine.scenario import (
     DEFAULT_SCENARIO,
     FAILURE_MODELS,
     RECOVERY_LEVELS,
+    WRITE_MODES,
     Scenario,
 )
 
@@ -43,10 +51,13 @@ __all__ = [
     "FaultToleranceEngine",
     "EngineState",
     "CheckpointRecord",
+    "PendingDrain",
     "EngineEvent",
     "ComputeEvent",
     "CheckpointTakenEvent",
     "CheckpointDiscardedEvent",
+    "DrainStartedEvent",
+    "DrainCompletedEvent",
     "FailureHitEvent",
     "RecoveryEvent",
     "RollbackEvent",
@@ -59,4 +70,5 @@ __all__ = [
     "DEFAULT_SCENARIO",
     "FAILURE_MODELS",
     "RECOVERY_LEVELS",
+    "WRITE_MODES",
 ]

@@ -43,6 +43,32 @@ when the failure struck is retaken immediately after the rollback (it is
 not pushed out a full interval).  Under the *lossy* scheme the solve is
 interrupted, the decompressed iterate becomes the new initial guess, and the
 extra iterations N' are measured, not assumed.
+
+Two-channel timeline (``write_mode="async"``)
+---------------------------------------------
+The paper — and the default ``blocking`` mode — charges the whole checkpoint
+write inline on one serialized clock.  Under the scenario's asynchronous
+write mode the timeline splits into a **compute channel** (the virtual
+clock: iterations, inline captures, recoveries, rollbacks) and an **I/O
+channel** carrying checkpoint *drains*:
+
+* a checkpoint stalls the solver only for the inline capture (compression +
+  staging the payload node-locally); the storage write becomes a drain
+  interval on the I/O channel that overlaps subsequent compute,
+* drains are serialized on the channel (one PFS pipe) and priced at the
+  contended async bandwidth
+  (:meth:`~repro.cluster.machine.ClusterModel.drain_seconds`); while one is
+  in flight, compute iterations pay a small interference surcharge,
+* a checkpoint becomes *recoverable only when its drain completes* — a
+  failure mid-drain discards the dirty write and recovery falls back to the
+  previous completed checkpoint (and under ``fti`` scenarios only completed
+  checkpoints enter the multilevel survival cycle),
+* payloads ship incremental deltas against the last committed checkpoint
+  (:mod:`repro.checkpoint.delta`) with periodic full keyframes, so a drain
+  moves the bytes a real incremental writer would move.
+
+Blocking mode takes none of these paths and stays byte-identical to the
+single-clock engine (pinned by the equivalence suite).
 """
 
 from __future__ import annotations
@@ -59,6 +85,8 @@ from repro.engine.events import (
     CheckpointDiscardedEvent,
     CheckpointTakenEvent,
     ComputeEvent,
+    DrainCompletedEvent,
+    DrainStartedEvent,
     EventLog,
     FailureHitEvent,
     GiveUpEvent,
@@ -81,7 +109,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep the package acyclic
     from repro.core.scale import ExperimentScale
     from repro.core.schemes import CheckpointingScheme
 
-__all__ = ["FaultToleranceEngine", "CheckpointRecord", "EngineState"]
+__all__ = ["FaultToleranceEngine", "CheckpointRecord", "EngineState", "PendingDrain"]
 
 #: How many times an interrupted recovery/rollback phase restarts before the
 #: engine forces one final uninterrupted attempt (keeps pathological seeds
@@ -112,6 +140,32 @@ class CheckpointRecord:
     compute_seconds_at_completion: float
     #: FTI level the payload was written to (None under PFS-only scenarios).
     level: Optional[int] = None
+    #: Bytes a *restore* of this checkpoint must read/decompress.  For a full
+    #: payload this equals the model bytes; for an incremental (delta) async
+    #: payload it is the whole base chain — keyframe plus every intermediate
+    #: delta — since the in-memory delta bases do not survive the failure the
+    #: scenario models.  ``None`` (blocking mode) falls back to the model
+    #: bytes.
+    restore_uncompressed_bytes: Optional[float] = None
+    restore_compressed_bytes: Optional[float] = None
+
+
+@dataclass
+class PendingDrain:
+    """One staged checkpoint still flushing on the I/O channel.
+
+    The record is fully priced and carries its payload, but it is *not*
+    recoverable until the drain completes: a failure before ``end`` discards
+    it (dirty write) and recovery falls back to the previous completed
+    checkpoint.
+    """
+
+    record: CheckpointRecord
+    #: I/O-channel interval of the drain (``start`` may be after the capture
+    #: finished when an earlier drain still held the channel).
+    start: float
+    end: float
+    seconds: float
 
 
 @dataclass
@@ -138,6 +192,22 @@ class EngineState:
     interrupted_at: Optional[int] = None
     gave_up: bool = False
     give_up_reason: Optional[str] = None
+    # -- asynchronous (two-channel) write mode only ------------------------
+    #: Staged checkpoints still flushing on the I/O channel, in drain order.
+    pending_drains: List[PendingDrain] = field(default_factory=list)
+    #: I/O-channel time at which the last enqueued drain completes.
+    io_busy_until: float = 0.0
+    #: Id the next async checkpoint gets (ids are assigned at capture, but
+    #: ``num_checkpoints`` only counts drains that completed).
+    next_checkpoint_id: int = 0
+    #: Drain seconds of every *completed* checkpoint (I/O-channel time).
+    drain_times: List[float] = field(default_factory=list)
+    #: Checkpoints whose drain a failure interrupted (dirty writes).
+    num_dirty_checkpoints: int = 0
+    #: Restore-chain bytes (uncompressed, compressed) by checkpoint id — what
+    #: a recovery must read back for an incremental payload (its keyframe
+    #: plus every intermediate delta).
+    restore_chain: Dict[int, Tuple[float, float]] = field(default_factory=dict)
 
 
 class FaultToleranceEngine:
@@ -255,6 +325,7 @@ class FaultToleranceEngine:
         self.events: Optional[EventLog] = None
         # Per-run working attributes (set up in run()).
         self._clock: VirtualClock = VirtualClock()
+        self._async: bool = self.scenario.asynchronous
         self._injector = None
         self._store: Optional[MultilevelCheckpointStore] = None
         self._pipeline: Optional[CheckpointPipeline] = None
@@ -274,8 +345,14 @@ class FaultToleranceEngine:
         self._store = self.scenario.build_multilevel_store(
             self.seed, policy=self.multilevel_policy
         )
+        self._async = self.scenario.asynchronous
         self._pipeline = CheckpointPipeline(
-            self.scheme, solver=self.solver, store=self._store
+            self.scheme,
+            solver=self.solver,
+            store=self._store,
+            # Async cells ship incremental deltas — the drain prices the
+            # bytes an overlapped incremental writer would actually move.
+            incremental=self._async,
         )
         self._vectors = self.scheme.dynamic_vector_count(self.solver)
         self.events = EventLog() if self.record_events else None
@@ -392,6 +469,11 @@ class FaultToleranceEngine:
                 )
                 break
 
+        if self._async:
+            # The run is over (converged or gave up): whatever is still
+            # staged finishes flushing in the background — settle so the
+            # checkpoint counts reflect every write that completed.
+            self._settle_drains(self._state.io_busy_until)
         return self._build_report(converged, total_iterations, restarts_from_scratch)
 
     # -- event handlers ------------------------------------------------------
@@ -407,6 +489,15 @@ class FaultToleranceEngine:
         clock.advance(self.iteration_seconds, "compute")
         state.compute_since_checkpoint += self.iteration_seconds
         state.compute_seconds_total += self.iteration_seconds
+        if self._async and start < state.io_busy_until:
+            # A drain is in flight: the background flush steals bandwidth
+            # from the solver, so this iteration pays the interference
+            # surcharge on the compute channel.  The surcharge is I/O
+            # contention, not solver work — it is not re-executed on a
+            # rollback, so it stays out of compute_since_checkpoint.
+            surcharge = self.iteration_seconds * self.cluster.async_interference
+            if surcharge > 0.0:
+                clock.advance(surcharge, "io_interference")
         state.residual_trace.append((it_state.iteration, it_state.residual_norm))
         self._record(
             ComputeEvent(
@@ -425,6 +516,7 @@ class FaultToleranceEngine:
                         time=failure_time, phase="compute", index=event.index
                     )
                 )
+                self._on_io_channel_failure(failure_time)
                 state.interrupted_at = it_state.iteration
                 raise _FailureSignal(it_state.iteration, "failure during compute")
             self._on_inline_failure(failure_time, "compute")
@@ -453,6 +545,7 @@ class FaultToleranceEngine:
         event = self._injector.consume(failure_time, phase)
         self._record(FailureHitEvent(time=failure_time, phase=phase, index=event.index))
         state.num_inline_failures += 1
+        self._on_io_channel_failure(failure_time)
         checkpoint_was_due = clock.now >= state.next_checkpoint_due
         self._apply_survival()
         last = state.last_checkpoint
@@ -491,6 +584,14 @@ class FaultToleranceEngine:
         """
         clock = self._clock
         state = self._state
+        if self._async:
+            # Commit every drain that finished before this capture so the
+            # incremental snapshot deltas against the last *committed*
+            # payload (and the rollback anchor is current).
+            self._settle_drains(clock.now)
+        checkpoint_id = (
+            state.next_checkpoint_id if self._async else state.num_checkpoints
+        )
         resume = (
             self.solver.capture_resume_state(it_state)
             if self.scheme.checkpoint_krylov_state
@@ -502,7 +603,7 @@ class FaultToleranceEngine:
             resume_state=resume,
             residual_norm=it_state.residual_norm,
             b_norm=self.b_norm,
-            checkpoint_id=state.num_checkpoints,
+            checkpoint_id=checkpoint_id,
         )
 
         if self.scenario.measured:
@@ -518,9 +619,24 @@ class FaultToleranceEngine:
         level: Optional[int] = None
         write_multiplier = 1.0
         if self._store is not None:
-            next_level = self._store.next_level()
+            # With drains outstanding the level cycle has already been
+            # "claimed" by the pending writes, so peek past them.
+            next_level = self._store.next_level(len(state.pending_drains))
             level = int(next_level)
             write_multiplier = self._store.policy.cost_multiplier[next_level]
+
+        if self._async:
+            self._enqueue_drain(
+                it_state,
+                snapshot,
+                ratio=ratio,
+                model_uncompressed=model_uncompressed,
+                model_compressed=model_compressed,
+                level=level,
+                write_multiplier=write_multiplier,
+            )
+            return
+
         ckpt_seconds = self.cluster.checkpoint_seconds(
             model_uncompressed,
             model_compressed,
@@ -583,6 +699,180 @@ class FaultToleranceEngine:
                 level=record.level,
             )
         )
+
+    # -- asynchronous I/O channel --------------------------------------------
+    def _enqueue_drain(
+        self,
+        it_state: IterationState,
+        snapshot: PipelineSnapshot,
+        *,
+        ratio: float,
+        model_uncompressed: float,
+        model_compressed: float,
+        level: Optional[int],
+        write_multiplier: float,
+    ) -> None:
+        """Async checkpoint: inline capture on the compute channel, then a
+        drain interval on the I/O channel.
+
+        The solver stalls only for compression + node-local staging; the
+        storage write of the (possibly delta-encoded) payload is enqueued on
+        the I/O channel, starting when the channel frees up and completing
+        ``drain_seconds`` later.  Until then the checkpoint is a *dirty*
+        write: a failure discards it and recovery falls back to the previous
+        completed checkpoint.  A failure during the capture itself discards
+        the snapshot before anything is staged (as in blocking mode).
+        """
+        clock = self._clock
+        state = self._state
+        capture_seconds = self.cluster.capture_seconds(
+            model_uncompressed,
+            model_compressed,
+            compressed=self.scheme.uses_compression,
+        )
+        start = clock.now
+        clock.advance(capture_seconds, "checkpoint")
+        state.checkpoint_times.append(capture_seconds)
+        failure_time = self._injector.failure_in(start, clock.now)
+        if failure_time is not None:
+            # The capture never finished: nothing was staged, nothing drains.
+            self._record(
+                CheckpointDiscardedEvent(time=clock.now, iteration=it_state.iteration)
+            )
+            if self.scheme.lossy:
+                event = self._injector.consume(failure_time, "checkpoint")
+                self._record(
+                    FailureHitEvent(
+                        time=failure_time, phase="checkpoint", index=event.index
+                    )
+                )
+                self._on_io_channel_failure(failure_time)
+                state.interrupted_at = it_state.iteration
+                state.next_checkpoint_due = (
+                    clock.now + self.checkpoint_interval_seconds
+                )
+                raise _FailureSignal(
+                    it_state.iteration, "failure during checkpoint capture"
+                )
+            self._on_inline_failure(failure_time, "checkpoint")
+            return
+
+        drain_seconds = self.cluster.drain_seconds(
+            model_compressed, write_cost_multiplier=write_multiplier
+        )
+        drain_start = max(clock.now, state.io_busy_until)
+        drain_end = drain_start + drain_seconds
+        state.io_busy_until = drain_end
+        # A delta payload restores through its whole base chain (keyframe +
+        # intermediate deltas), so recovery is priced at the chain bytes, not
+        # just the delta the drain shipped.
+        restore_u, restore_c = model_uncompressed, model_compressed
+        if snapshot.base_id is not None:
+            base_u, base_c = state.restore_chain.get(snapshot.base_id, (0.0, 0.0))
+            restore_u += base_u
+            restore_c += base_c
+        state.restore_chain[snapshot.checkpoint_id] = (restore_u, restore_c)
+        record = CheckpointRecord(
+            checkpoint_id=snapshot.checkpoint_id,
+            iteration=it_state.iteration,
+            snapshot=snapshot,
+            compression_ratio=ratio,
+            model_uncompressed_bytes=model_uncompressed,
+            model_compressed_bytes=model_compressed,
+            compute_seconds_at_completion=state.compute_seconds_total,
+            level=level,
+            restore_uncompressed_bytes=restore_u,
+            restore_compressed_bytes=restore_c,
+        )
+        state.pending_drains.append(
+            PendingDrain(
+                record=record, start=drain_start, end=drain_end, seconds=drain_seconds
+            )
+        )
+        state.next_checkpoint_id += 1
+        state.next_checkpoint_due = clock.now + self.checkpoint_interval_seconds
+        self._record(
+            DrainStartedEvent(
+                time=clock.now,
+                checkpoint_id=record.checkpoint_id,
+                iteration=it_state.iteration,
+                drain_start=drain_start,
+                seconds=drain_seconds,
+            )
+        )
+
+    def _settle_drains(self, until: float) -> None:
+        """Commit every pending drain that completed by I/O-channel time ``until``.
+
+        A committed drain becomes the newest recovery point: the payload is
+        persisted through the pipeline (entering the multilevel survival
+        cycle under ``fti`` scenarios), the rollback anchor rebases onto it,
+        and — in incremental mode — its reconstruction becomes the delta
+        base of subsequent snapshots.
+        """
+        state = self._state
+        if not state.pending_drains:
+            return
+        remaining: List[PendingDrain] = []
+        for pending in state.pending_drains:
+            if pending.end > until:
+                remaining.append(pending)
+                continue
+            record = pending.record
+            self._pipeline.commit(record.snapshot)
+            if self._store is not None:
+                record.level = int(self._store.level_of(record.checkpoint_id))
+                state.records[record.checkpoint_id] = record
+                self._prune_unreachable_records()
+            state.last_checkpoint = record
+            state.num_checkpoints += 1
+            state.compression_ratios.append(record.compression_ratio)
+            state.drain_times.append(pending.seconds)
+            state.compute_since_checkpoint = (
+                state.compute_seconds_total - record.compute_seconds_at_completion
+            )
+            self._record(
+                DrainCompletedEvent(
+                    time=pending.end,
+                    checkpoint_id=record.checkpoint_id,
+                    iteration=record.iteration,
+                )
+            )
+            self._record(
+                CheckpointTakenEvent(
+                    time=pending.end,
+                    iteration=record.iteration,
+                    seconds=pending.seconds,
+                    compression_ratio=record.compression_ratio,
+                    level=record.level,
+                )
+            )
+        state.pending_drains = remaining
+
+    def _on_io_channel_failure(self, failure_time: float) -> None:
+        """Settle the I/O channel at a failure: commit finished drains,
+        discard the dirty rest.
+
+        Drains that completed strictly before the failure are real
+        checkpoints (recovery may restore them); anything still in flight is
+        a dirty write — the payload never became recoverable, so it is
+        dropped and the channel resets (the post-recovery restart re-stages
+        from the restored state, it does not resume half-flushed buffers).
+        No-op in blocking mode.
+        """
+        if not self._async:
+            return
+        state = self._state
+        self._settle_drains(failure_time)
+        for pending in state.pending_drains:
+            state.num_dirty_checkpoints += 1
+            self._record(
+                CheckpointDiscardedEvent(
+                    time=failure_time, iteration=pending.record.iteration
+                )
+            )
+        state.pending_drains = []
+        state.io_busy_until = 0.0
 
     # -- internals -----------------------------------------------------------
     def _callback(self, it_state: IterationState) -> None:
@@ -701,9 +991,19 @@ class FaultToleranceEngine:
             read_multiplier = self._store.policy.cost_multiplier[
                 CheckpointLevel(last.level)
             ]
+        read_uncompressed = (
+            last.restore_uncompressed_bytes
+            if last.restore_uncompressed_bytes is not None
+            else last.model_uncompressed_bytes
+        )
+        read_compressed = (
+            last.restore_compressed_bytes
+            if last.restore_compressed_bytes is not None
+            else last.model_compressed_bytes
+        )
         return self.cluster.recovery_seconds(
-            last.model_uncompressed_bytes,
-            last.model_compressed_bytes,
+            read_uncompressed,
+            read_compressed,
             static_bytes=self.scale.static_bytes,
             compressed=self.scheme.uses_compression,
             read_cost_multiplier=read_multiplier,
@@ -758,6 +1058,14 @@ class FaultToleranceEngine:
             # Absent under modeled costing so the paper-regime reports stay
             # byte-identical to the frozen pre-pipeline runner.
             info["checkpoint_costing"] = "measured"
+        if self._async:
+            info["write_mode"] = "async"
+            info["io_drain_seconds"] = float(sum(state.drain_times))
+            info["mean_drain_seconds"] = (
+                float(np.mean(state.drain_times)) if state.drain_times else 0.0
+            )
+            info["io_interference_seconds"] = clock.time_in("io_interference")
+            info["num_dirty_checkpoints"] = state.num_dirty_checkpoints
         if state.gave_up:
             info["gave_up"] = True
             info["give_up_reason"] = state.give_up_reason

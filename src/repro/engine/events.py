@@ -23,6 +23,8 @@ __all__ = [
     "ComputeEvent",
     "CheckpointTakenEvent",
     "CheckpointDiscardedEvent",
+    "DrainStartedEvent",
+    "DrainCompletedEvent",
     "FailureHitEvent",
     "RecoveryEvent",
     "RollbackEvent",
@@ -59,8 +61,42 @@ class CheckpointTakenEvent(EngineEvent):
 
 @dataclass(frozen=True)
 class CheckpointDiscardedEvent(EngineEvent):
-    """A failure landed inside the checkpoint window; the write was discarded."""
+    """A failure landed inside the checkpoint window; the write was discarded.
 
+    Under asynchronous write mode this also marks a *dirty* drain: a failure
+    struck while the staged payload was still flushing on the I/O channel,
+    so the checkpoint never became recoverable.
+    """
+
+    iteration: int
+
+
+@dataclass(frozen=True)
+class DrainStartedEvent(EngineEvent):
+    """An async checkpoint was staged and its I/O-channel drain enqueued.
+
+    ``time`` is the compute-channel time the capture finished; the drain
+    itself occupies ``[drain_start, drain_start + seconds]`` on the I/O
+    channel (``drain_start`` may be later than ``time`` when an earlier
+    drain still holds the channel).
+    """
+
+    checkpoint_id: int
+    iteration: int
+    drain_start: float
+    seconds: float
+
+
+@dataclass(frozen=True)
+class DrainCompletedEvent(EngineEvent):
+    """An async drain finished; the checkpoint is now recoverable.
+
+    ``time`` is the I/O-channel completion time (the event is recorded when
+    the engine next settles the drain queue, which may be later on the
+    compute channel).
+    """
+
+    checkpoint_id: int
     iteration: int
 
 

@@ -113,6 +113,21 @@ class FTRunReport:
         return bool(self.info.get("gave_up", False))
 
     @property
+    def write_mode(self) -> str:
+        """Which timeline the checkpoint writes ran on (default ``blocking``)."""
+        return str(self.info.get("write_mode", "blocking"))
+
+    @property
+    def io_drain_seconds(self) -> float:
+        """Total I/O-channel drain time of an async run (0 for blocking runs).
+
+        Drain time overlaps compute, so it is *not* part of
+        ``total_seconds``/overhead — it measures how busy the second channel
+        was.
+        """
+        return float(self.info.get("io_drain_seconds", 0.0))
+
+    @property
     def fault_tolerance_overhead(self) -> float:
         """Total time minus the failure-free productive time (paper's metric)."""
         return self.total_seconds - self.productive_seconds

@@ -23,6 +23,14 @@ scaled to paper size by its own measured compression ratio — while
 ratio(x)`` estimate.  The modeled Poisson/PFS regime reproduces the
 pre-pipeline runner byte-for-byte (pinned by the engine-equivalence suite);
 the campaign grid exposes all knobs as axes.
+
+A fourth knob, **write mode**, selects the timeline a checkpoint write runs
+on: ``blocking`` (the paper's stop-the-world write — the solver stalls for
+compression *and* the PFS write) or ``async`` (two-channel timeline — the
+solver only stalls for the inline capture while the PFS write *drains* on a
+separate I/O channel overlapping subsequent compute; the checkpoint is not
+recoverable until its drain completes, a failure mid-drain falls back to
+the previous completed checkpoint, and payloads ship incremental deltas).
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ __all__ = [
     "CAMPAIGN_FAILURE_MODELS",
     "RECOVERY_LEVELS",
     "CHECKPOINT_COSTINGS",
+    "WRITE_MODES",
     "DEFAULT_SCENARIO",
 ]
 
@@ -62,6 +71,11 @@ RECOVERY_LEVELS = ("pfs", "fti")
 #: pipeline payload (default) or from the historical modeled estimate.
 CHECKPOINT_COSTINGS = ("measured", "modeled")
 
+#: Which timeline a checkpoint write runs on: ``blocking`` stalls the solver
+#: for the whole write (the paper's model); ``async`` overlaps the storage
+#: drain with compute on a second I/O channel and ships incremental deltas.
+WRITE_MODES = ("blocking", "async")
+
 _Params = Tuple[Tuple[str, object], ...]
 
 
@@ -78,6 +92,7 @@ class Scenario:
     recovery_levels: str = "pfs"
     failure_params: _Params = ()
     checkpoint_costing: str = "measured"
+    write_mode: str = "blocking"
 
     def __post_init__(self) -> None:
         if self.failure_model not in FAILURE_MODELS:
@@ -95,6 +110,10 @@ class Scenario:
                 f"unknown checkpoint costing {self.checkpoint_costing!r}; "
                 f"known: {CHECKPOINT_COSTINGS}"
             )
+        if self.write_mode not in WRITE_MODES:
+            raise ValueError(
+                f"unknown write mode {self.write_mode!r}; known: {WRITE_MODES}"
+            )
         object.__setattr__(
             self, "failure_params", tuple((str(k), v) for k, v in self.failure_params)
         )
@@ -106,7 +125,7 @@ class Scenario:
 
     @property
     def is_paper_regime(self) -> bool:
-        """Poisson arrivals + PFS-only recovery, whatever the costing mode.
+        """Poisson arrivals + PFS-only recovery + blocking writes.
 
         The modeled variant of this regime is what the frozen pre-pipeline
         runner priced, so its reports carry no scenario info keys — keeping
@@ -116,12 +135,18 @@ class Scenario:
             self.failure_model == "poisson"
             and self.recovery_levels == "pfs"
             and not self.failure_params
+            and self.write_mode == "blocking"
         )
 
     @property
     def measured(self) -> bool:
         """True when checkpoints are priced from measured payload bytes."""
         return self.checkpoint_costing == "measured"
+
+    @property
+    def asynchronous(self) -> bool:
+        """True when checkpoint writes drain on the overlapped I/O channel."""
+        return self.write_mode == "async"
 
     @property
     def multilevel(self) -> bool:
@@ -177,6 +202,7 @@ class Scenario:
             "recovery_levels": self.recovery_levels,
             "failure_params": [[k, v] for k, v in self.failure_params],
             "checkpoint_costing": self.checkpoint_costing,
+            "write_mode": self.write_mode,
         }
 
     @classmethod
@@ -189,6 +215,7 @@ class Scenario:
                 (str(k), v) for k, v in data.get("failure_params", [])
             ),
             checkpoint_costing=str(data.get("checkpoint_costing", "measured")),
+            write_mode=str(data.get("write_mode", "blocking")),
         )
 
 

@@ -248,3 +248,57 @@ class TestPolicyAndCostingAxes:
         )
         cells = varied.expand()
         assert len({c.seed for c in cells}) == len(cells)
+
+
+class TestWriteModeAxis:
+    def test_runspec_rejects_unknown_write_mode(self):
+        with pytest.raises(ValueError, match="unknown write mode"):
+            RunSpec(write_mode="overlapped")
+
+    def test_write_mode_changes_cache_key(self):
+        base = RunSpec()
+        assert base.write_mode == "blocking"
+        assert base.cache_key() != base.with_overrides(write_mode="async").cache_key()
+
+    def test_pre_write_mode_dicts_load_default(self):
+        data = RunSpec().to_dict()
+        del data["write_mode"]
+        rebuilt = RunSpec.from_dict(data)
+        assert rebuilt.write_mode == "blocking"
+
+    def test_grid_expands_write_mode_axis(self):
+        spec = CampaignSpec(
+            methods=("jacobi",),
+            schemes=("traditional", "lossy"),
+            write_modes=("blocking", "async"),
+            checkpoint_costings=("measured", "modeled"),
+        )
+        cells = spec.expand()
+        assert len(cells) == 2 * 2 * 2
+        assert len(spec) == len(cells)
+        coords = {(c.scheme, c.write_mode, c.checkpoint_costing) for c in cells}
+        assert len(coords) == 8
+        assert len({cell.cache_key() for cell in cells}) == len(cells)
+
+    def test_default_write_mode_keeps_historical_seeds(self):
+        # The write-mode axis must not re-seed pre-async campaigns: pinning
+        # blocking expands to exactly the same cells as not mentioning it.
+        base = CampaignSpec(methods=("jacobi", "cg"), repetitions=3, seed=99)
+        pinned = CampaignSpec(
+            methods=("jacobi", "cg"),
+            repetitions=3,
+            seed=99,
+            write_modes=("blocking",),
+        )
+        assert base.expand() == pinned.expand()
+        varied = CampaignSpec(
+            methods=("jacobi",), write_modes=("blocking", "async"), repetitions=2
+        )
+        cells = varied.expand()
+        assert len({c.seed for c in cells}) == len(cells)
+
+    def test_json_round_trip_with_write_mode(self):
+        spec = CampaignSpec(methods=("jacobi",), write_modes=("blocking", "async"))
+        rebuilt = CampaignSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.expand() == spec.expand()

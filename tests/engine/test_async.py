@@ -1,0 +1,349 @@
+"""Two-channel timeline tests: overlapped drains, dirty writes, fallback."""
+
+import pytest
+
+from repro.cluster.machine import ClusterModel
+from repro.core.scale import paper_scale
+from repro.core.schemes import CheckpointingScheme
+from repro.engine import FaultToleranceEngine, Scenario, run_failure_free
+from repro.engine.events import (
+    CheckpointDiscardedEvent,
+    CheckpointTakenEvent,
+    DrainCompletedEvent,
+    DrainStartedEvent,
+    RecoveryEvent,
+)
+from repro.solvers import JacobiSolver
+
+ASYNC = Scenario(write_mode="async")
+
+
+@pytest.fixture(scope="module")
+def async_setup(poisson_small):
+    solver = JacobiSolver(poisson_small.A, rtol=1e-4, max_iter=100000)
+    baseline = run_failure_free(solver, poisson_small.b)
+    cluster = ClusterModel(num_processes=2048)
+    scale = paper_scale(2048)
+    iteration_seconds = cluster.calibrated_iteration_time("jacobi", baseline.iterations)
+    return poisson_small, solver, baseline, cluster, scale, iteration_seconds
+
+
+def _engine(async_setup, scheme, **kwargs):
+    problem, solver, baseline, cluster, scale, iteration_seconds = async_setup
+    defaults = dict(
+        cluster=cluster,
+        scale=scale,
+        iteration_seconds=iteration_seconds,
+        baseline=baseline,
+        seed=29,
+    )
+    defaults.update(kwargs)
+    return FaultToleranceEngine(solver, problem.b, scheme, **defaults)
+
+
+def _scripted(*times, write_mode="async"):
+    return Scenario(
+        failure_model="scripted",
+        failure_params=(("times", tuple(times)),),
+        write_mode=write_mode,
+    )
+
+
+class TestScenarioWriteMode:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown write mode"):
+            Scenario(write_mode="overlapped")
+
+    def test_round_trip(self):
+        scenario = Scenario(write_mode="async", recovery_levels="fti")
+        rebuilt = Scenario.from_dict(scenario.to_dict())
+        assert rebuilt == scenario
+        assert rebuilt.asynchronous
+        # Pre-write-mode dicts default to blocking.
+        legacy = {k: v for k, v in scenario.to_dict().items() if k != "write_mode"}
+        assert Scenario.from_dict(legacy).write_mode == "blocking"
+
+    def test_async_is_not_the_paper_regime(self):
+        assert not ASYNC.is_paper_regime
+        assert not ASYNC.is_default
+        assert Scenario().write_mode == "blocking"
+        assert Scenario().is_paper_regime
+
+
+class TestOverheadReduction:
+    @pytest.mark.parametrize(
+        "scheme_factory, interval",
+        [
+            (CheckpointingScheme.traditional, 300.0),
+            (lambda: CheckpointingScheme.lossy(1e-4), 150.0),
+        ],
+        ids=["traditional", "lossy"],
+    )
+    def test_async_strictly_cheaper_failure_free(
+        self, async_setup, scheme_factory, interval
+    ):
+        """With checkpoint cost a nontrivial fraction of the interval, the
+        overlapped timeline yields strictly lower wall-clock overhead."""
+        reports = {}
+        for mode in ("blocking", "async"):
+            reports[mode] = _engine(
+                async_setup,
+                scheme_factory(),
+                mtti_seconds=None,
+                checkpoint_interval_seconds=interval,
+                scenario=Scenario(write_mode=mode),
+            ).run()
+        blocking, asynchronous = reports["blocking"], reports["async"]
+        assert blocking.converged and asynchronous.converged
+        # The blocking write is a large fraction of the interval here.
+        assert blocking.mean_checkpoint_seconds > 0.2 * interval
+        assert (
+            asynchronous.fault_tolerance_overhead
+            < blocking.fault_tolerance_overhead
+        )
+        # The drain moved to the I/O channel instead of vanishing.
+        assert asynchronous.io_drain_seconds > 0.0
+        assert asynchronous.info["write_mode"] == "async"
+
+    def test_async_cheaper_under_poisson_failures(self, async_setup):
+        reports = {}
+        for mode in ("blocking", "async"):
+            reports[mode] = _engine(
+                async_setup,
+                CheckpointingScheme.traditional(),
+                mtti_seconds=1500.0,
+                checkpoint_interval_seconds=300.0,
+                scenario=Scenario(write_mode=mode),
+            ).run()
+        assert reports["blocking"].num_failures > 0
+        assert (
+            reports["async"].fault_tolerance_overhead
+            < reports["blocking"].fault_tolerance_overhead
+        )
+
+    def test_blocking_reports_carry_no_async_keys(self, async_setup):
+        report = _engine(
+            async_setup,
+            CheckpointingScheme.traditional(),
+            mtti_seconds=500.0,
+            checkpoint_interval_seconds=150.0,
+        ).run()
+        assert report.write_mode == "blocking"
+        assert report.io_drain_seconds == 0.0
+        for key in ("write_mode", "io_drain_seconds", "num_dirty_checkpoints"):
+            assert key not in report.info
+
+
+class TestDrainSemantics:
+    def test_failure_free_run_completes_every_drain(self, async_setup):
+        engine = _engine(
+            async_setup,
+            CheckpointingScheme.traditional(),
+            mtti_seconds=None,
+            checkpoint_interval_seconds=300.0,
+            scenario=ASYNC,
+            record_events=True,
+        )
+        report = engine.run()
+        started = engine.events.of_type(DrainStartedEvent)
+        completed = engine.events.of_type(DrainCompletedEvent)
+        taken = engine.events.of_type(CheckpointTakenEvent)
+        assert report.num_checkpoints == len(started) == len(completed) == len(taken)
+        assert report.info["num_dirty_checkpoints"] == 0
+        # Inline capture is much cheaper than the blocking write would be.
+        assert report.mean_checkpoint_seconds < report.info["mean_drain_seconds"]
+
+    def test_drains_serialize_on_the_io_channel(self, async_setup):
+        # Interval far shorter than one drain: captures outpace the channel.
+        engine = _engine(
+            async_setup,
+            CheckpointingScheme.traditional(),
+            mtti_seconds=None,
+            checkpoint_interval_seconds=100.0,
+            scenario=ASYNC,
+            record_events=True,
+        )
+        engine.run()
+        started = engine.events.of_type(DrainStartedEvent)
+        assert len(started) >= 3
+        for earlier, later in zip(started, started[1:]):
+            assert later.drain_start >= earlier.drain_start + earlier.seconds - 1e-9
+        # At least one drain had to queue behind the one before it.
+        assert any(e.drain_start > e.time + 1e-9 for e in started)
+
+    def test_mid_drain_failure_falls_back_to_previous_completed(self, async_setup):
+        """A failure while checkpoint k drains recovers from checkpoint k-1."""
+        # Probe run: find the drain intervals without failures.
+        probe = _engine(
+            async_setup,
+            CheckpointingScheme.traditional(),
+            mtti_seconds=None,
+            checkpoint_interval_seconds=300.0,
+            scenario=ASYNC,
+            record_events=True,
+        )
+        probe.run()
+        drains = probe.events.of_type(DrainStartedEvent)
+        completions = {e.checkpoint_id: e.time for e in probe.events.of_type(DrainCompletedEvent)}
+        assert len(drains) >= 2
+        first, second = drains[0], drains[1]
+        # Land the failure squarely inside the second drain, after the first
+        # completed.
+        failure_time = second.drain_start + 0.5 * second.seconds
+        assert completions[first.checkpoint_id] < failure_time
+
+        engine = _engine(
+            async_setup,
+            CheckpointingScheme.traditional(),
+            mtti_seconds=3600.0,
+            checkpoint_interval_seconds=300.0,
+            scenario=_scripted(failure_time),
+            record_events=True,
+        )
+        report = engine.run()
+        assert report.converged
+        assert report.info["num_dirty_checkpoints"] == 1
+        discarded = engine.events.of_type(CheckpointDiscardedEvent)
+        assert [e.iteration for e in discarded] == [second.iteration]
+        (recovery,) = engine.events.of_type(RecoveryEvent)
+        assert not recovery.from_scratch
+        assert recovery.from_iteration == first.iteration
+
+    def test_failure_before_any_drain_completes_restarts_from_scratch(
+        self, async_setup
+    ):
+        probe = _engine(
+            async_setup,
+            CheckpointingScheme.traditional(),
+            mtti_seconds=None,
+            checkpoint_interval_seconds=300.0,
+            scenario=ASYNC,
+            record_events=True,
+        )
+        probe.run()
+        first = probe.events.of_type(DrainStartedEvent)[0]
+        failure_time = first.drain_start + 0.5 * first.seconds
+        engine = _engine(
+            async_setup,
+            CheckpointingScheme.traditional(),
+            mtti_seconds=3600.0,
+            checkpoint_interval_seconds=300.0,
+            scenario=_scripted(failure_time),
+            record_events=True,
+        )
+        report = engine.run()
+        assert report.converged
+        recoveries = engine.events.of_type(RecoveryEvent)
+        assert recoveries[0].from_scratch
+        assert report.num_restarts_from_scratch == 0  # exact scheme: inline
+
+    def test_async_runs_are_deterministic(self, async_setup):
+        kwargs = dict(
+            mtti_seconds=400.0,
+            checkpoint_interval_seconds=150.0,
+            scenario=Scenario(write_mode="async", recovery_levels="fti"),
+            seed=23,
+        )
+        first = _engine(async_setup, CheckpointingScheme.lossy(1e-4), **kwargs).run()
+        again = _engine(async_setup, CheckpointingScheme.lossy(1e-4), **kwargs).run()
+        assert first.to_json() == again.to_json()
+        assert first.num_failures > 0
+
+    def test_async_multilevel_prices_level_of_pending_queue(self, async_setup):
+        """Committed levels follow the FTI cycle even with queued drains."""
+        engine = _engine(
+            async_setup,
+            CheckpointingScheme.traditional(),
+            mtti_seconds=None,
+            checkpoint_interval_seconds=150.0,
+            scenario=Scenario(write_mode="async", recovery_levels="fti"),
+            record_events=True,
+        )
+        engine.run()
+        taken = engine.events.of_type(CheckpointTakenEvent)
+        cycle = engine._store.policy.cycle
+        assert len(taken) > len(cycle)
+        for index, event in enumerate(taken):
+            assert event.level == int(cycle[index % len(cycle)])
+
+
+class TestDeltaChainRecoveryPricing:
+    def test_recovery_reads_the_chain_not_just_the_delta(self, async_setup):
+        """Restoring a delta payload is priced at keyframe + deltas bytes."""
+        from repro.checkpoint.pipeline import PipelineSnapshot
+        from repro.engine import CheckpointRecord
+
+        engine = _engine(
+            async_setup,
+            CheckpointingScheme.lossless(),
+            mtti_seconds=None,
+            checkpoint_interval_seconds=300.0,
+            scenario=ASYNC,
+        )
+        engine.run()
+        snapshot = PipelineSnapshot(checkpoint_id=9, iteration=9, payload=b"")
+        common = dict(
+            checkpoint_id=9,
+            iteration=9,
+            snapshot=snapshot,
+            compression_ratio=1.0,
+            model_uncompressed_bytes=1e9,
+            model_compressed_bytes=5e8,
+            compute_seconds_at_completion=0.0,
+        )
+        full = CheckpointRecord(**common)
+        delta = CheckpointRecord(
+            **common,
+            restore_uncompressed_bytes=3e9,
+            restore_compressed_bytes=1.5e9,
+        )
+        assert engine._recovery_seconds(delta) > engine._recovery_seconds(full)
+
+    def test_records_carry_monotone_chain_bytes(self, async_setup):
+        engine = _engine(
+            async_setup,
+            CheckpointingScheme.lossless(),
+            mtti_seconds=None,
+            checkpoint_interval_seconds=60.0,
+            scenario=ASYNC,
+        )
+        engine.run()
+        chain = engine._state.restore_chain
+        assert chain
+        last = engine._state.last_checkpoint
+        assert last.restore_compressed_bytes >= last.model_compressed_bytes
+        delta_ids = [
+            cid
+            for cid, (_, compressed) in chain.items()
+            if compressed > 1.5 * last.model_compressed_bytes
+        ]
+        keyframe_like = [
+            cid
+            for cid, (_, compressed) in chain.items()
+            if compressed <= 1.5 * last.model_compressed_bytes
+        ]
+        # A lossless run at this interval ships some deltas near convergence;
+        # their restore chains must exceed any single full payload.
+        assert keyframe_like  # keyframes price only themselves
+        if delta_ids:
+            for cid in delta_ids:
+                assert chain[cid][1] > max(
+                    chain[k][1] for k in keyframe_like
+                ) or chain[cid][1] > last.model_compressed_bytes
+
+
+class TestInterference:
+    def test_interference_charged_only_while_draining(self, async_setup):
+        engine = _engine(
+            async_setup,
+            CheckpointingScheme.traditional(),
+            mtti_seconds=None,
+            checkpoint_interval_seconds=300.0,
+            scenario=ASYNC,
+        )
+        report = engine.run()
+        interference = report.info["io_interference_seconds"]
+        assert interference > 0.0
+        # Bounded by the surcharge over the drain-busy windows.
+        rate = engine.cluster.async_interference
+        assert interference <= rate * report.io_drain_seconds + rate * 10.0

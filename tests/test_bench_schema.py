@@ -1,0 +1,120 @@
+"""The benchmark-artifact schema checker must catch hollow uploads."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "check_bench_schema.py"
+_spec = importlib.util.spec_from_file_location("check_bench_schema", _MODULE_PATH)
+checker = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(checker)
+
+
+def _valid_runner() -> dict:
+    row = {
+        "converged": True,
+        "iterations_per_second": 1000.0,
+        "total_iterations": 131,
+        "num_failures": 3,
+        "num_checkpoints": 5,
+        "seconds": 0.1,
+    }
+    return {
+        "baseline_iterations": 131,
+        "scenarios": {"lossy-poisson": dict(row), "lossy-poisson-async": dict(row)},
+    }
+
+
+def _valid_pipeline() -> dict:
+    def combo(scheme):
+        return {
+            "scheme": scheme,
+            "method": "cg",
+            "snapshot_mb_per_s": 30.0,
+            "restore_mb_per_s": 140.0,
+            "checkpoints_per_s": 200.0,
+            "payload_bytes": 100000,
+            "dynamic_bytes": 128016,
+        }
+    return {"combinations": {"lossless/cg": combo("lossless"), "lossy/cg": combo("lossy")}}
+
+
+def _valid_codec() -> dict:
+    row = {"ratio": 2.0, "encode_mbps": 100.0, "decode_mbps": 200.0}
+    return {"workloads": {"solver": {"legacy": dict(row), "codec": dict(row)}}}
+
+
+_VALID = {
+    "BENCH_runner.json": _valid_runner,
+    "BENCH_pipeline.json": _valid_pipeline,
+    "BENCH_codec.json": _valid_codec,
+}
+
+
+@pytest.mark.parametrize("name", sorted(_VALID))
+def test_valid_artifacts_pass(tmp_path, name):
+    path = tmp_path / name
+    path.write_text(json.dumps(_VALID[name]()))
+    assert checker.check_file(path) == []
+
+
+@pytest.mark.parametrize("name", sorted(_VALID))
+def test_empty_sections_fail(tmp_path, name):
+    data = _VALID[name]()
+    (key,) = [k for k in data if isinstance(data[k], dict) and k != "baseline_iterations"]
+    data[key] = {}
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    assert checker.check_file(path)
+
+
+def test_runner_requires_both_write_modes(tmp_path):
+    data = _valid_runner()
+    del data["scenarios"]["lossy-poisson-async"]
+    path = tmp_path / "BENCH_runner.json"
+    path.write_text(json.dumps(data))
+    errors = checker.check_file(path)
+    assert any("async" in e for e in errors)
+
+
+def test_nonpositive_rate_fails(tmp_path):
+    data = _valid_pipeline()
+    data["combinations"]["lossless/cg"]["snapshot_mb_per_s"] = 0.0
+    path = tmp_path / "BENCH_pipeline.json"
+    path.write_text(json.dumps(data))
+    errors = checker.check_file(path)
+    assert any("snapshot_mb_per_s" in e for e in errors)
+
+
+def test_invalid_json_and_unknown_name(tmp_path):
+    bad = tmp_path / "BENCH_codec.json"
+    bad.write_text("{not json")
+    assert any("JSON" in e for e in checker.check_file(bad))
+    unknown = tmp_path / "BENCH_mystery.json"
+    unknown.write_text("{}")
+    assert any("no schema" in e for e in checker.check_file(unknown))
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    good = tmp_path / "BENCH_codec.json"
+    good.write_text(json.dumps(_valid_codec()))
+    assert checker.main([str(good)]) == 0
+    bad = tmp_path / "BENCH_runner.json"
+    bad.write_text("{}")
+    assert checker.main([str(good), str(bad)]) == 1
+    assert checker.main([]) == 2
+    out = capsys.readouterr().out
+    assert "ok" in out and "FAIL" in out
+
+
+def test_local_artifacts_are_valid():
+    """Benchmark outputs in the workspace (gitignored) must satisfy the
+    schemas the CI upload is gated on."""
+    repo = _MODULE_PATH.parent.parent
+    present = [repo / name for name in sorted(_VALID) if (repo / name).exists()]
+    if not present:
+        pytest.skip("no benchmark artifacts in the workspace")
+    for artifact in present:
+        assert checker.check_file(artifact) == [], artifact.name
