@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Offline link checker for the repository's markdown documentation.
+
+The docs build intentionally has no site-generator dependency (the
+development container ships no mkdocs/sphinx), so this script is the
+"docs build": it validates every markdown cross-reference without touching
+the network and exits non-zero on the first broken set.
+
+Checked per markdown file (README.md plus everything under ``docs/``):
+
+* relative links resolve to an existing file or directory in the repo;
+* fragment links into markdown targets (``file.md#some-heading``) match a
+  real heading, using GitHub's anchor slug rules;
+* bare intra-document fragments (``#section``) match a heading in the
+  same file;
+* absolute URLs are only syntax-checked (``http://``/``https://``) —
+  offline by design.
+
+Run it directly (``python docs/check_links.py``) or through the test
+suite (``tests/docs/test_docs.py``), which CI executes on every push.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target).  Images share the syntax with a
+#: leading ``!`` which needs no special casing for resolution purposes.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: ATX headings, used to build the per-file anchor table.
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+_URL_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def _doc_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's markdown heading → anchor id rule."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    return {_slugify(m.group(1)) for m in _HEADING.finditer(path.read_text())}
+
+
+def _iter_links(path: Path) -> Iterator[str]:
+    text = path.read_text()
+    # Fenced code blocks may contain pseudo-links (e.g. shell snippets);
+    # they are not navigable and are skipped.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in _LINK.finditer(text):
+        yield match.group(1)
+
+
+def check_links() -> List[Tuple[Path, str, str]]:
+    """Return ``(file, link, reason)`` for every broken reference."""
+    problems: List[Tuple[Path, str, str]] = []
+    for doc in _doc_files():
+        for link in _iter_links(doc):
+            if link.startswith(_URL_SCHEMES):
+                continue
+            target, _, fragment = link.partition("#")
+            if target:
+                resolved = (doc.parent / target).resolve()
+                if not resolved.exists():
+                    problems.append((doc, link, "target does not exist"))
+                    continue
+            else:
+                resolved = doc
+            if fragment:
+                if resolved.suffix != ".md" or not resolved.is_file():
+                    continue  # anchors into non-markdown targets: not checked
+                if fragment not in _anchors(resolved):
+                    problems.append((doc, link, f"no heading for #{fragment}"))
+    return problems
+
+
+def main() -> int:
+    problems = check_links()
+    for doc, link, reason in problems:
+        print(f"{doc.relative_to(REPO_ROOT)}: broken link {link!r} ({reason})")
+    checked = len(_doc_files())
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"all links resolve across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,7 +52,10 @@ KINDS = (
 #: now carry per-variable ratios/overhead, changing cached cell results.
 #: 5: the two-channel engine timeline added the write-mode axis (blocking vs
 #: async overlapped drains with incremental delta payloads) to ft cells.
-CACHE_VERSION = 5
+#: 6: async captures gained staging-slot backpressure (MachineSpec
+#: .async_staging_slots): drains slower than the checkpoint interval no
+#: longer grow the dirty queue without bound, changing async ft reports.
+CACHE_VERSION = 6
 
 _Params = Tuple[Tuple[str, object], ...]
 

@@ -94,6 +94,12 @@ class MachineSpec:
     #: Fractional compute slowdown while an asynchronous drain is in flight
     #: (the background flush steals memory/network bandwidth from the solver).
     async_compute_interference: float = 0.02
+    #: Node-local staging buffers available to asynchronous checkpointing
+    #: (double buffering by default).  When every slot holds an in-flight
+    #: drain, the next capture is deferred until a drain settles — without
+    #: this backpressure a drain slower than the checkpoint interval grows
+    #: the dirty queue without bound and no checkpoint ever commits.
+    async_staging_slots: int = 2
 
     def __post_init__(self) -> None:
         if self.nodes < 1 or self.cores_per_node < 1:
@@ -106,6 +112,8 @@ class MachineSpec:
         )
         check_positive(self.staging_bandwidth_per_core, "staging_bandwidth_per_core")
         check_nonnegative(self.async_compute_interference, "async_compute_interference")
+        if int(self.async_staging_slots) < 1:
+            raise ValueError("async_staging_slots must be >= 1")
 
     @property
     def total_cores(self) -> int:

@@ -1,0 +1,73 @@
+"""Optional numba JIT kernels for the v1 block-codec bit stream.
+
+Imported lazily by :mod:`repro.compression.codec`; when numba is not
+installed :data:`HAVE_NUMBA` is ``False`` and the dispatcher falls back to
+the vector backend.  The kernels pack/unpack bit-for-bit the same stream as
+the other backends (pinned by ``tests/compression/test_codec_equivalence.py``,
+exercised with numba in CI only — the default container does not ship it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - depends on environment
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):  # pragma: no cover - never called without numba
+        raise ImportError("numba is not installed")
+
+
+if HAVE_NUMBA:
+
+    @njit(cache=True, nogil=True)
+    def _pack_kernel(padded, widths, bit_offsets, block_size, out):
+        for b in range(widths.shape[0]):
+            w = int(widths[b])
+            if w == 0:
+                continue
+            pos = int(bit_offsets[b])
+            base = b * block_size
+            for i in range(block_size):
+                v = padded[base + i]
+                for k in range(w):
+                    if (v >> np.uint64(k)) & np.uint64(1):
+                        out[pos >> 3] |= np.uint8(1) << np.uint8(pos & 7)
+                    pos += 1
+
+    @njit(cache=True, nogil=True)
+    def _unpack_kernel(raw, widths, bit_offsets, block_size, blocks):
+        for b in range(widths.shape[0]):
+            w = int(widths[b])
+            if w == 0:
+                continue
+            pos = int(bit_offsets[b])
+            for i in range(block_size):
+                v = np.uint64(0)
+                for k in range(w):
+                    if (raw[pos >> 3] >> (pos & 7)) & 1:
+                        v |= np.uint64(1) << np.uint64(k)
+                    pos += 1
+                blocks[b, i] = v
+
+
+def pack_bits(padded, widths, bit_offsets, block_size):
+    """Pack codes into the LSB-first bit stream; returns the packed bytes."""
+    total_bits = int(bit_offsets[-1])
+    out = np.zeros((total_bits + 7) // 8, dtype=np.uint8)
+    _pack_kernel(padded, widths, bit_offsets, int(block_size), out)
+    return out.tobytes()
+
+
+def unpack_bits(buffer, offset, widths, bit_offsets, block_size, n_blocks):
+    """Unpack the bit stream back into an ``(n_blocks, block_size)`` array."""
+    total_bits = int(bit_offsets[-1])
+    nbytes = (total_bits + 7) // 8
+    raw = np.frombuffer(buffer, dtype=np.uint8, count=nbytes, offset=offset)
+    blocks = np.zeros((int(n_blocks), int(block_size)), dtype=np.uint64)
+    _unpack_kernel(raw, widths, bit_offsets, int(block_size), blocks)
+    return blocks

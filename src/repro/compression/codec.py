@@ -1,11 +1,12 @@
 """Versioned block codec for quantization-code streams (format v1).
 
 This module is the encoding layer shared by the SZ-like and ZFP-like
-compressors.  It replaces the legacy whole-stream encoder in
-:mod:`repro.compression.encoding`, which packed every code at one *global*
-bit width (a single outlier inflated the whole stream) and, on the
-pointwise-relative paths, DEFLATEd an already-DEFLATEd inner section.
-Following real SZ (Tao et al., IPDPS'17) the v1 codec instead:
+compressors and the checkpoint delta layer.  It replaces the legacy
+whole-stream encoder in :mod:`repro.compression.encoding`, which packed
+every code at one *global* bit width (a single outlier inflated the whole
+stream) and, on the pointwise-relative paths, DEFLATEd an already-DEFLATEd
+inner section.  Following real SZ (Di & Cappello, IPDPS'16; Tao et al.,
+IPDPS'17) the v1 codec instead:
 
 * packs codes in fixed-size blocks (:data:`DEFAULT_BLOCK_SIZE` codes) at each
   block's minimal bit width, so a locally rough region cannot inflate the
@@ -15,27 +16,47 @@ Following real SZ (Tao et al., IPDPS'17) the v1 codec instead:
   leaving a zero in the block stream,
 * applies exactly **one** entropy (DEFLATE) pass over the whole frame.
 
-v1 frame layout (everything little-endian)::
+The **normative wire-format specification** lives in
+``docs/payload-format.md``; the layout summary::
 
-    magic    b"RBCF"
-    version  uint16 (currently 1)
-    body     one DEFLATE stream over length-prefixed sections
-             (see encoding.pack_sections)
-
-One of those sections is typically a *block stream* produced by
-:func:`encode_signed`::
-
-    header   <QIIQ>: code count, block size, width cap, escape count
-    widths   one uint8 per block — that block's bit width (0 = all zero)
-    bits     each block's codes zigzag-mapped and bit-packed LSB-first at
-             the block's width, blocks concatenated in order
-    escapes  positions (uint64 each) then raw zigzag values (uint64 each)
+    frame    magic b"RBCF" + uint16 version, then one DEFLATE stream over
+             length-prefixed sections (see encoding.pack_sections)
+    stream   <QIIQ> header (code count, block size, width cap, escape count)
+             widths   one uint8 per block (0 = all-zero block, no bits)
+             bits     zigzag codes bit-packed LSB-first at the block width,
+                      blocks concatenated with no padding between them
+             escapes  positions (uint64 each) then raw zigzag values
 
 Compressors stamp ``format_version`` into ``CompressedBlob.meta``; payloads
 without it predate this codec and are decoded through the compressors'
-legacy paths.  Everything here is vectorised NumPy: per-width block groups
-are gathered and packed with one fancy-indexed assignment per distinct
-width (at most 64 groups), never per element.
+legacy paths.
+
+Backends
+--------
+The bit-packing hot path has three interchangeable implementations, all
+producing **bitwise-identical** streams (pinned by
+``tests/compression/test_codec_equivalence.py``):
+
+``vector`` (default)
+    Whole-array NumPy ``uint64`` word-lane packing: for each distinct block
+    width the codes are reshaped into groups that tile exactly onto 64-bit
+    words, then assembled with at most 64 shift/OR passes per width — no
+    per-element work and no 8x bit-expansion.  Requires a little-endian host
+    and a block size divisible by 64 (the defaults); anything else falls
+    back to the bit-matrix path below.
+``scalar``
+    A deliberately simple pure-Python reference implementation
+    (:mod:`repro.compression._codec_scalar`) that reads like the format
+    specification.  Orders of magnitude slower; used as the equivalence
+    oracle and as a portability fallback.
+``numba``
+    Optional JIT-compiled kernels (:mod:`repro.compression._codec_numba`),
+    used only when numba is importable.  Selecting it without numba
+    installed falls back to ``vector`` with a warning.
+
+Select a backend globally with the ``REPRO_CODEC`` environment variable
+(``vector`` | ``scalar`` | ``numba``) or per call via the ``backend``
+keyword of :func:`encode_signed` / :func:`decode_signed`.
 
 Run the codec microbenchmarks with::
 
@@ -46,9 +67,13 @@ which also writes ``BENCH_codec.json`` (ratio + MB/s per workload).
 
 from __future__ import annotations
 
+import math
+import os
 import struct
+import sys
+import warnings
 import zlib
-from typing import Iterable, List
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -63,7 +88,10 @@ __all__ = [
     "FORMAT_VERSION",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_WIDTH_CAP",
+    "CODEC_BACKEND_ENV",
     "CodecFormatError",
+    "available_backends",
+    "resolve_backend",
     "encode_signed",
     "decode_signed",
     "encode_frame",
@@ -79,13 +107,75 @@ DEFAULT_BLOCK_SIZE = 1024
 #: Codes needing more bits than this go through the escape channel.
 DEFAULT_WIDTH_CAP = 32
 
+#: Environment variable selecting the bit-packing backend.
+CODEC_BACKEND_ENV = "REPRO_CODEC"
+
+_BACKENDS = ("vector", "scalar", "numba")
+
 _FRAME_MAGIC = b"RBCF"
 _FRAME_HEADER = struct.Struct("<4sH")
 _STREAM_HEADER = struct.Struct("<QIIQ")  # count, block size, width cap, escapes
 
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
 
 class CodecFormatError(ValueError):
     """Raised when a payload is not a valid codec frame."""
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+def _numba_kernels():
+    """The JIT kernel module, or ``None`` when numba is not installed."""
+    try:
+        from repro.compression import _codec_numba
+    except ImportError:  # pragma: no cover - depends on environment
+        return None
+    return _codec_numba if _codec_numba.HAVE_NUMBA else None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backends usable in this environment (``numba`` only if importable)."""
+    names = ["vector", "scalar"]
+    if _numba_kernels() is not None:
+        names.append("numba")
+    return tuple(names)
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a backend name (or ``None`` = the ``REPRO_CODEC`` default).
+
+    Parameters
+    ----------
+    backend:
+        ``"vector"``, ``"scalar"``, ``"numba"`` or ``None`` to read the
+        :data:`CODEC_BACKEND_ENV` environment variable (default
+        ``"vector"``).
+
+    Returns
+    -------
+    str
+        The backend that will actually run.  Requesting ``numba`` without
+        numba installed warns once and returns ``"vector"`` so pipelines
+        keep working on machines without the optional dependency.
+    """
+    if backend is None:
+        backend = os.environ.get(CODEC_BACKEND_ENV, "vector") or "vector"
+    backend = str(backend).lower()
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown codec backend {backend!r}; choose one of {_BACKENDS}"
+        )
+    if backend == "numba" and _numba_kernels() is None:
+        warnings.warn(
+            "REPRO_CODEC=numba requested but numba is not installed; "
+            "falling back to the vector backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "vector"
+    return backend
 
 
 def _bit_widths(values: np.ndarray) -> np.ndarray:
@@ -102,49 +192,17 @@ def _bit_widths(values: np.ndarray) -> np.ndarray:
 
 
 # ----------------------------------------------------------------------
-# block stream
+# bit packing backends (all produce identical byte streams)
 # ----------------------------------------------------------------------
-def encode_signed(
-    codes: np.ndarray,
-    *,
-    block_size: int = DEFAULT_BLOCK_SIZE,
-    width_cap: int = DEFAULT_WIDTH_CAP,
+def _pack_bits_matrix(
+    blocks: np.ndarray, widths: np.ndarray, bit_offsets: np.ndarray, block_size: int
 ) -> bytes:
-    """Encode signed int64 codes as a v1 block stream (no entropy stage).
+    """Portable packer: expand each code into bits, then ``np.packbits``.
 
-    Codes are zigzag-mapped, outliers wider than ``width_cap`` bits are
-    diverted to the escape channel, and each ``block_size``-code block is
-    bit-packed at its own minimal width.
+    Works for any block size / byte order, at the cost of materialising one
+    uint8 per *bit*.  Kept as the fallback for non-64-aligned block sizes
+    and big-endian hosts.
     """
-    codes = np.ascontiguousarray(codes, dtype=np.int64).reshape(-1)
-    block_size = int(block_size)
-    width_cap = int(width_cap)
-    if block_size < 1:
-        raise ValueError(f"block_size must be >= 1, got {block_size}")
-    if not (1 <= width_cap <= 64):
-        raise ValueError(f"width_cap must be in [1, 64], got {width_cap}")
-
-    unsigned = zigzag_encode(codes)
-    count = unsigned.size
-    if count == 0:
-        return _STREAM_HEADER.pack(0, block_size, width_cap, 0)
-
-    if width_cap >= 64:
-        escape_mask = np.zeros(count, dtype=bool)
-    else:
-        escape_mask = unsigned >= np.uint64(1) << np.uint64(width_cap)
-    escape_positions = np.flatnonzero(escape_mask).astype(np.uint64)
-    escape_values = unsigned[escape_mask]
-    inline = np.where(escape_mask, np.uint64(0), unsigned)
-
-    n_blocks = -(-count // block_size)
-    padded = np.zeros(n_blocks * block_size, dtype=np.uint64)
-    padded[:count] = inline
-    blocks = padded.reshape(n_blocks, block_size)
-    widths = _bit_widths(blocks.max(axis=1))
-    bit_offsets = np.concatenate(
-        ([0], np.cumsum(widths.astype(np.int64) * block_size))
-    )
     bits = np.zeros(int(bit_offsets[-1]), dtype=np.uint8)
     for width in np.unique(widths):
         w = int(width)
@@ -160,21 +218,288 @@ def encode_signed(
             + np.arange(block_size * w, dtype=np.int64)[None, :]
         )
         bits[positions.reshape(-1)] = bit_matrix.reshape(-1)
-    packed = np.packbits(bits, bitorder="little")
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def _unpack_bits_matrix(
+    buffer: bytes,
+    offset: int,
+    widths: np.ndarray,
+    bit_offsets: np.ndarray,
+    block_size: int,
+    n_blocks: int,
+) -> np.ndarray:
+    """Inverse of :func:`_pack_bits_matrix` (portable fallback)."""
+    total_bits = int(bit_offsets[-1])
+    nbytes = (total_bits + 7) // 8
+    raw = np.frombuffer(buffer, dtype=np.uint8, count=nbytes, offset=offset)
+    bits = np.unpackbits(raw, bitorder="little")[:total_bits]
+    blocks = np.zeros((n_blocks, block_size), dtype=np.uint64)
+    for width in np.unique(widths):
+        w = int(width)
+        if w == 0:
+            continue
+        sel = np.flatnonzero(widths == width)
+        positions = (
+            bit_offsets[sel][:, None]
+            + np.arange(block_size * w, dtype=np.int64)[None, :]
+        )
+        group = bits[positions.reshape(-1)].reshape(len(sel), block_size, w)
+        shifts = np.arange(w, dtype=np.uint64)
+        blocks[sel] = (group.astype(np.uint64) << shifts[None, None, :]).sum(
+            axis=2, dtype=np.uint64
+        )
+    return blocks
+
+
+def _lane_geometry(w: int) -> Tuple[int, int]:
+    """``(P, W)``: ``P`` codes of width ``w`` tile exactly onto ``W`` words.
+
+    ``P = 64 / gcd(w, 64)`` is the smallest code count whose packed length
+    is a whole number of 64-bit words; every block is a multiple of ``P``
+    codes when the block size is divisible by 64.
+    """
+    p = 64 // math.gcd(w, 64)
+    return p, (w * p) // 64
+
+
+def _pack_bits_vector(
+    blocks: np.ndarray, widths: np.ndarray, bit_offsets: np.ndarray, block_size: int
+) -> bytes:
+    """Vectorised word-lane packer (block size divisible by 64, little-endian).
+
+    For each distinct width ``w`` the codes are reshaped into rows of ``P``
+    codes that fill exactly ``W`` 64-bit words (:func:`_lane_geometry`);
+    each of the ``P`` lane positions contributes one shift/OR over the whole
+    row set, plus one more when the code straddles a word boundary.  The
+    lanes are transposed up front so every shift/OR runs over contiguous
+    memory — at most ~2x64 vector passes total, no per-element Python, no
+    bit expansion.  Because the block size is a multiple of 64, every
+    block's bit segment is word-aligned and the little-endian word image
+    equals the LSB-first bit stream byte-for-byte.
+    """
+    total_words = int(bit_offsets[-1]) >> 6
+    word_offsets = bit_offsets[:-1] >> 6
+    n_blocks = blocks.shape[0]
+    words = None
+    for width in np.unique(widths):
+        w = int(width)
+        if w == 0:
+            continue
+        sel = np.flatnonzero(widths == width)
+        uniform = sel.size == n_blocks
+        group = blocks if uniform else blocks[sel]
+        lane_p, lane_w = _lane_geometry(w)
+        # lane-major copy: cols[j] is lane j of every row, contiguous
+        cols = np.ascontiguousarray(group.reshape(-1, lane_p).T)
+        out = np.zeros((lane_w, cols.shape[1]), dtype=np.uint64)
+        for j in range(lane_p):
+            bit = j * w
+            word_index, shift = bit >> 6, bit & 63
+            out[word_index] |= cols[j] << np.uint64(shift) if shift else cols[j]
+            if shift + w > 64:
+                out[word_index + 1] |= cols[j] >> np.uint64(64 - shift)
+        packed = np.ascontiguousarray(out.T).reshape(-1)
+        if uniform:
+            words = packed  # block offsets are consecutive: no scatter needed
+            break
+        if words is None:
+            words = np.zeros(total_words, dtype=np.uint64)
+        words_per_block = (block_size * w) >> 6
+        positions = (
+            word_offsets[sel][:, None]
+            + np.arange(words_per_block, dtype=np.int64)[None, :]
+        )
+        words[positions.reshape(-1)] = packed
+    if words is None:
+        words = np.zeros(total_words, dtype=np.uint64)
+    return words.tobytes()
+
+
+def _unpack_bits_vector(
+    buffer: bytes,
+    offset: int,
+    widths: np.ndarray,
+    bit_offsets: np.ndarray,
+    block_size: int,
+    n_blocks: int,
+) -> np.ndarray:
+    """Inverse of :func:`_pack_bits_vector` (word-lane extraction)."""
+    total_bits = int(bit_offsets[-1])
+    nbytes = total_bits >> 3
+    raw = np.frombuffer(buffer, dtype=np.uint8, count=nbytes, offset=offset)
+    words = raw.copy().view(np.uint64)  # copy() realigns the buffer slice
+    word_offsets = bit_offsets[:-1] >> 6
+    blocks = None
+    for width in np.unique(widths):
+        w = int(width)
+        if w == 0:
+            continue
+        sel = np.flatnonzero(widths == width)
+        uniform = sel.size == n_blocks
+        words_per_block = (block_size * w) >> 6
+        if uniform:
+            group_words = words
+        else:
+            positions = (
+                word_offsets[sel][:, None]
+                + np.arange(words_per_block, dtype=np.int64)[None, :]
+            )
+            group_words = words[positions.reshape(-1)]
+        lane_p, lane_w = _lane_geometry(w)
+        rows = np.ascontiguousarray(group_words.reshape(-1, lane_w).T)
+        mask = np.uint64(0xFFFFFFFFFFFFFFFF) if w == 64 else np.uint64((1 << w) - 1)
+        vals = np.empty((lane_p, rows.shape[1]), dtype=np.uint64)
+        for j in range(lane_p):
+            bit = j * w
+            word_index, shift = bit >> 6, bit & 63
+            v = rows[word_index] >> np.uint64(shift) if shift else rows[word_index]
+            if shift + w > 64:
+                v = v | (rows[word_index + 1] << np.uint64(64 - shift))
+            vals[j] = v & mask if w < 64 else v
+        decoded = np.ascontiguousarray(vals.T).reshape(-1, block_size)
+        if uniform:
+            return decoded
+        if blocks is None:
+            blocks = np.zeros((n_blocks, block_size), dtype=np.uint64)
+        blocks[sel] = decoded
+    if blocks is None:
+        blocks = np.zeros((n_blocks, block_size), dtype=np.uint64)
+    return blocks
+
+
+def _vector_path_ok(block_size: int) -> bool:
+    """Whether the word-lane fast path applies for this block size."""
+    return _LITTLE_ENDIAN and block_size % 64 == 0
+
+
+# ----------------------------------------------------------------------
+# block stream
+# ----------------------------------------------------------------------
+def encode_signed(
+    codes: np.ndarray,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    width_cap: int = DEFAULT_WIDTH_CAP,
+    backend: Optional[str] = None,
+) -> bytes:
+    """Encode signed int64 codes as a v1 block stream (no entropy stage).
+
+    Codes are zigzag-mapped, outliers wider than ``width_cap`` bits are
+    diverted to the escape channel, and each ``block_size``-code block is
+    bit-packed at its own minimal width.
+
+    Parameters
+    ----------
+    codes:
+        Signed integer codes (any shape; flattened in C order).
+    block_size:
+        Codes per width block, ``>= 1``; the default 1024 follows SZ.
+    width_cap:
+        Escape threshold in bits, in ``[1, 64]``.
+    backend:
+        Bit-packing implementation (``"vector"``/``"scalar"``/``"numba"``);
+        ``None`` reads :data:`CODEC_BACKEND_ENV`.  All backends produce
+        bitwise-identical streams.
+
+    Returns
+    -------
+    bytes
+        The block stream: header, per-block widths, packed bits, escapes.
+    """
+    backend = resolve_backend(backend)
+    if backend == "scalar":
+        from repro.compression import _codec_scalar
+
+        return _codec_scalar.encode_signed_scalar(
+            codes, block_size=block_size, width_cap=width_cap
+        )
+
+    codes = np.ascontiguousarray(codes, dtype=np.int64).reshape(-1)
+    block_size = int(block_size)
+    width_cap = int(width_cap)
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    if not (1 <= width_cap <= 64):
+        raise ValueError(f"width_cap must be in [1, 64], got {width_cap}")
+
+    unsigned = zigzag_encode(codes)
+    count = unsigned.size
+    if count == 0:
+        return _STREAM_HEADER.pack(0, block_size, width_cap, 0)
+
+    if width_cap >= 64:
+        escape_positions = np.empty(0, dtype=np.uint64)
+        escape_values = np.empty(0, dtype=np.uint64)
+        inline = unsigned
+    else:
+        escape_mask = unsigned >= np.uint64(1) << np.uint64(width_cap)
+        escape_positions = np.flatnonzero(escape_mask).astype(np.uint64)
+        if escape_positions.size:
+            escape_values = unsigned[escape_mask]
+            inline = np.where(escape_mask, np.uint64(0), unsigned)
+        else:
+            escape_values = np.empty(0, dtype=np.uint64)
+            inline = unsigned
+
+    n_blocks = -(-count // block_size)
+    if n_blocks * block_size == count:
+        padded = inline
+    else:
+        padded = np.zeros(n_blocks * block_size, dtype=np.uint64)
+        padded[:count] = inline
+    blocks = padded.reshape(n_blocks, block_size)
+    widths = _bit_widths(blocks.max(axis=1))
+    bit_offsets = np.concatenate(
+        ([0], np.cumsum(widths.astype(np.int64) * block_size))
+    )
+
+    kernels = _numba_kernels() if backend == "numba" else None
+    if kernels is not None:
+        packed = kernels.pack_bits(padded, widths, bit_offsets, block_size)
+    elif _vector_path_ok(block_size):
+        packed = _pack_bits_vector(blocks, widths, bit_offsets, block_size)
+    else:
+        packed = _pack_bits_matrix(blocks, widths, bit_offsets, block_size)
 
     return b"".join(
         [
             _STREAM_HEADER.pack(count, block_size, width_cap, escape_values.size),
             widths.tobytes(),
-            packed.tobytes(),
+            packed,
             escape_positions.tobytes(),
             escape_values.tobytes(),
         ]
     )
 
 
-def decode_signed(buffer: bytes) -> np.ndarray:
-    """Inverse of :func:`encode_signed`; returns the int64 code array."""
+def decode_signed(buffer: bytes, *, backend: Optional[str] = None) -> np.ndarray:
+    """Inverse of :func:`encode_signed`.
+
+    Parameters
+    ----------
+    buffer:
+        A block stream produced by :func:`encode_signed` (any backend).
+    backend:
+        Bit-unpacking implementation; ``None`` reads
+        :data:`CODEC_BACKEND_ENV`.
+
+    Returns
+    -------
+    numpy.ndarray
+        The original signed int64 code array.
+
+    Raises
+    ------
+    CodecFormatError
+        If the stream header or escape table is corrupt.
+    """
+    backend = resolve_backend(backend)
+    if backend == "scalar":
+        from repro.compression import _codec_scalar
+
+        return _codec_scalar.decode_signed_scalar(buffer)
+
     count, block_size, width_cap, n_escapes = _STREAM_HEADER.unpack_from(buffer, 0)
     offset = _STREAM_HEADER.size
     if count == 0:
@@ -192,25 +517,21 @@ def decode_signed(buffer: bytes) -> np.ndarray:
     )
     total_bits = int(bit_offsets[-1])
     nbytes = (total_bits + 7) // 8
-    raw = np.frombuffer(buffer, dtype=np.uint8, count=nbytes, offset=offset)
-    offset += nbytes
-    bits = np.unpackbits(raw, bitorder="little")[:total_bits]
 
-    blocks = np.zeros((n_blocks, block_size), dtype=np.uint64)
-    for width in np.unique(widths):
-        w = int(width)
-        if w == 0:
-            continue
-        sel = np.flatnonzero(widths == width)
-        positions = (
-            bit_offsets[sel][:, None]
-            + np.arange(block_size * w, dtype=np.int64)[None, :]
+    kernels = _numba_kernels() if backend == "numba" else None
+    if kernels is not None:
+        blocks = kernels.unpack_bits(
+            buffer, offset, widths, bit_offsets, block_size, n_blocks
         )
-        group = bits[positions.reshape(-1)].reshape(len(sel), block_size, w)
-        shifts = np.arange(w, dtype=np.uint64)
-        blocks[sel] = (group.astype(np.uint64) << shifts[None, None, :]).sum(
-            axis=2, dtype=np.uint64
+    elif _vector_path_ok(block_size):
+        blocks = _unpack_bits_vector(
+            buffer, offset, widths, bit_offsets, block_size, n_blocks
         )
+    else:
+        blocks = _unpack_bits_matrix(
+            buffer, offset, widths, bit_offsets, block_size, n_blocks
+        )
+    offset += nbytes
 
     unsigned = blocks.reshape(-1)[:count]
     if n_escapes:
@@ -232,13 +553,32 @@ def decode_signed(buffer: bytes) -> np.ndarray:
 # frame = versioned header + one entropy pass
 # ----------------------------------------------------------------------
 def encode_frame(sections: Iterable[bytes], *, level: int = 6) -> bytes:
-    """Wrap sections in a v1 frame with a single DEFLATE pass."""
+    """Wrap byte sections in a v1 frame with a single DEFLATE pass.
+
+    Parameters
+    ----------
+    sections:
+        The raw sections, in order (see ``encoding.pack_sections``).
+    level:
+        DEFLATE effort, 0-9.
+
+    Returns
+    -------
+    bytes
+        ``b"RBCF"`` + version + one zlib stream over the packed sections.
+    """
     body = zlib.compress(pack_sections(list(sections)), level)
     return _FRAME_HEADER.pack(_FRAME_MAGIC, FORMAT_VERSION) + body
 
 
 def decode_frame(payload: bytes) -> List[bytes]:
-    """Inverse of :func:`encode_frame`; returns the raw sections."""
+    """Inverse of :func:`encode_frame`; returns the raw sections.
+
+    Raises
+    ------
+    CodecFormatError
+        On a short payload, bad magic, or an unsupported format version.
+    """
     if len(payload) < _FRAME_HEADER.size:
         raise CodecFormatError("payload too short for a codec frame")
     magic, version = _FRAME_HEADER.unpack_from(payload, 0)

@@ -39,13 +39,17 @@ _HEADER = struct.Struct("<QI")  # element count, bit width
 def zigzag_encode(values: np.ndarray) -> np.ndarray:
     """Map signed integers to unsigned so small |v| become small codes."""
     values = np.asarray(values, dtype=np.int64)
-    return ((values << 1) ^ (values >> 63)).astype(np.uint64)
+    out = values << 1
+    out ^= values >> 63
+    return out.view(np.uint64)
 
 
 def zigzag_decode(codes: np.ndarray) -> np.ndarray:
     """Inverse of :func:`zigzag_encode`."""
     codes = np.asarray(codes, dtype=np.uint64)
-    return ((codes >> np.uint64(1)).astype(np.int64)) ^ -(codes & np.uint64(1)).astype(np.int64)
+    out = (codes >> np.uint64(1)).view(np.int64)
+    out ^= -(codes & np.uint64(1)).view(np.int64)
+    return out
 
 
 def _bit_width(max_value: int) -> int:

@@ -82,6 +82,7 @@ from repro.checkpoint.multilevel import MultilevelCheckpointStore, MultilevelPol
 from repro.checkpoint.pipeline import CheckpointPipeline, PipelineSnapshot
 from repro.cluster.machine import ClusterModel
 from repro.engine.events import (
+    CheckpointDeferredEvent,
     CheckpointDiscardedEvent,
     CheckpointTakenEvent,
     ComputeEvent,
@@ -204,6 +205,11 @@ class EngineState:
     drain_times: List[float] = field(default_factory=list)
     #: Checkpoints whose drain a failure interrupted (dirty writes).
     num_dirty_checkpoints: int = 0
+    #: Captures deferred because every staging slot held an in-flight drain.
+    num_deferred_checkpoints: int = 0
+    #: True while the current due checkpoint is being held back by staging
+    #: backpressure (collapses per-iteration retries into one event).
+    checkpoint_deferred: bool = False
     #: Restore-chain bytes (uncompressed, compressed) by checkpoint id — what
     #: a recovery must read back for an incremental payload (its keyframe
     #: plus every intermediate delta).
@@ -346,6 +352,7 @@ class FaultToleranceEngine:
             self.seed, policy=self.multilevel_policy
         )
         self._async = self.scenario.asynchronous
+        self._staging_slots = int(self.cluster.spec.async_staging_slots)
         self._pipeline = CheckpointPipeline(
             self.scheme,
             solver=self.solver,
@@ -509,6 +516,7 @@ class FaultToleranceEngine:
         )
         failure_time = self._injector.failure_in(start, clock.now)
         if failure_time is not None:
+            failure_time = self._strike_time(failure_time, start)
             if self.scheme.lossy:
                 event = self._injector.consume(failure_time, "compute")
                 self._record(
@@ -564,7 +572,17 @@ class FaultToleranceEngine:
         rollback_seconds = state.compute_since_checkpoint
         self._advance_with_failures(rollback_seconds, "rollback")
         self._record(RollbackEvent(time=clock.now, seconds=rollback_seconds))
-        if checkpoint_was_due:
+        if checkpoint_was_due or (
+            # Two-channel mode: recovery + rollback may outlast the
+            # checkpoint interval (long rollbacks happen whenever a failure
+            # discarded in-flight drains).  The checkpoint that came due
+            # during the handling is taken at the first opportunity instead
+            # of a full interval later — otherwise repeated failures push
+            # the cadence away indefinitely, the rollback anchor goes stale
+            # and the rollback span compounds.
+            self._async
+            and clock.now >= state.next_checkpoint_due
+        ):
             state.next_checkpoint_due = clock.now
         else:
             state.next_checkpoint_due = clock.now + self.checkpoint_interval_seconds
@@ -589,6 +607,28 @@ class FaultToleranceEngine:
             # incremental snapshot deltas against the last *committed*
             # payload (and the rollback anchor is current).
             self._settle_drains(clock.now)
+            if len(state.pending_drains) >= self._staging_slots:
+                # Backpressure: every node-local staging buffer still holds
+                # an in-flight drain, so the compute channel has nowhere to
+                # stage this payload.  Leave the checkpoint due — it is
+                # retried as soon as a drain settles.  Without this cap a
+                # drain slower than the checkpoint interval (e.g. the
+                # traditional scheme's uncompressed payload) grows the dirty
+                # queue without bound: no checkpoint ever commits, the
+                # rollback span stretches toward the whole run, and failure
+                # counts explode (see docs/architecture.md).
+                if not state.checkpoint_deferred:
+                    state.checkpoint_deferred = True
+                    state.num_deferred_checkpoints += 1
+                    self._record(
+                        CheckpointDeferredEvent(
+                            time=clock.now,
+                            iteration=it_state.iteration,
+                            pending=len(state.pending_drains),
+                        )
+                    )
+                return
+            state.checkpoint_deferred = False
         checkpoint_id = (
             state.next_checkpoint_id if self._async else state.num_checkpoints
         )
@@ -735,6 +775,7 @@ class FaultToleranceEngine:
         state.checkpoint_times.append(capture_seconds)
         failure_time = self._injector.failure_in(start, clock.now)
         if failure_time is not None:
+            failure_time = self._strike_time(failure_time, start)
             # The capture never finished: nothing was staged, nothing drains.
             self._record(
                 CheckpointDiscardedEvent(time=clock.now, iteration=it_state.iteration)
@@ -873,6 +914,9 @@ class FaultToleranceEngine:
             )
         state.pending_drains = []
         state.io_busy_until = 0.0
+        # The staging buffers are free again: a later deferral is a new
+        # backpressure episode and records its own event.
+        state.checkpoint_deferred = False
 
     # -- internals -----------------------------------------------------------
     def _callback(self, it_state: IterationState) -> None:
@@ -1009,6 +1053,25 @@ class FaultToleranceEngine:
             read_cost_multiplier=read_multiplier,
         )
 
+    def _strike_time(self, failure_time: float, window_start: float) -> float:
+        """Clock time at which a pending failure actually strikes.
+
+        A *latent* failure — one whose arrival re-armed inside a phase whose
+        full cost was already billed to the clock — carries an arrival time
+        in the past.  Under the two-channel (async) timeline it strikes at
+        the start of the window that finds it, so the re-armed process keeps
+        pace with the billed clock: re-arming from the stale arrival instead
+        lets the injector fall ever further behind whenever recovery +
+        rollback outlast the MTTI, and the resulting backlog makes every
+        subsequent window fail instantly (the failure-count explosion
+        documented in docs/architecture.md).  Blocking mode keeps the stale
+        arrival untouched — its behavior is pinned byte-identical to the
+        pre-refactor runner.
+        """
+        if self._async:
+            return max(failure_time, window_start)
+        return failure_time
+
     def _advance_with_failures(self, seconds: float, category: str) -> None:
         """Advance the clock by ``seconds``, restarting the phase if a failure hits.
 
@@ -1026,6 +1089,7 @@ class FaultToleranceEngine:
             failure_time = self._injector.failure_in(start, clock.now)
             if failure_time is None:
                 return
+            failure_time = self._strike_time(failure_time, start)
             event = self._injector.consume(failure_time, category)
             self._record(
                 FailureHitEvent(time=failure_time, phase=category, index=event.index)

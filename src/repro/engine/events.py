@@ -22,6 +22,7 @@ __all__ = [
     "EngineEvent",
     "ComputeEvent",
     "CheckpointTakenEvent",
+    "CheckpointDeferredEvent",
     "CheckpointDiscardedEvent",
     "DrainStartedEvent",
     "DrainCompletedEvent",
@@ -57,6 +58,20 @@ class CheckpointTakenEvent(EngineEvent):
     seconds: float
     compression_ratio: float
     level: Optional[int] = None  # CheckpointLevel value under multilevel runs
+
+
+@dataclass(frozen=True)
+class CheckpointDeferredEvent(EngineEvent):
+    """An async checkpoint stayed due because all staging slots were busy.
+
+    Backpressure: with every staging buffer occupied by an in-flight drain
+    (``MachineSpec.async_staging_slots``), the compute channel cannot stage
+    another payload, so the capture is deferred and retried once a drain
+    settles.  Recorded once per deferral episode, not once per iteration.
+    """
+
+    iteration: int
+    pending: int  # drains in flight when the capture was deferred
 
 
 @dataclass(frozen=True)
