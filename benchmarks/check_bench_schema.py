@@ -2,7 +2,8 @@
 """Sanity-check benchmark artifact schemas before CI uploads them.
 
 The nightly benchmarks workflow writes ``BENCH_pipeline.json`` /
-``BENCH_runner.json`` / ``BENCH_codec.json`` and uploads them as artifacts.
+``BENCH_runner.json`` / ``BENCH_codec.json`` / ``BENCH_store.json`` and
+uploads them as artifacts.
 A refactor that silently stops populating a section would still upload a
 syntactically valid — but empty — file, and the regression would only be
 noticed when someone reads the artifact weeks later.  This checker fails
@@ -94,10 +95,42 @@ def check_codec(data: dict) -> List[str]:
     return errors
 
 
+def check_store(data: dict) -> List[str]:
+    """``BENCH_store.json``: per-backend throughput, pricing and dedup."""
+    errors: List[str] = []
+    backends = data.get("backends")
+    if not isinstance(backends, dict) or not backends:
+        return ["'backends' must be a non-empty object"]
+    for name, row in backends.items():
+        if not isinstance(row, dict):
+            errors.append(f"backend {name!r} is not an object")
+            continue
+        for key in ("write_mb_per_s", "read_mb_per_s", "modeled_write_seconds",
+                    "modeled_read_seconds", "dedup_ratio"):
+            _positive(row, key, errors, f"backend {name!r}")
+        if not row.get("durability"):
+            errors.append(f"backend {name!r}: missing 'durability'")
+    modeled = [row.get("modeled_write_seconds") for row in backends.values()
+               if isinstance(row, dict)]
+    if len(set(modeled)) < len(modeled):
+        errors.append("modeled_write_seconds must be distinct per backend "
+                      "(the priced profiles are the point of the artifact)")
+    chunked = backends.get("chunked")
+    if isinstance(chunked, dict):
+        ratio = chunked.get("dedup_ratio")
+        if not isinstance(ratio, (int, float)) or not ratio > 1.0:
+            errors.append(f"backend 'chunked': dedup_ratio should exceed 1, "
+                          f"got {ratio!r}")
+    else:
+        errors.append("missing 'chunked' backend row")
+    return errors
+
+
 CHECKERS: Dict[str, Callable[[dict], List[str]]] = {
     "BENCH_pipeline.json": check_pipeline,
     "BENCH_runner.json": check_runner,
     "BENCH_codec.json": check_codec,
+    "BENCH_store.json": check_store,
 }
 
 

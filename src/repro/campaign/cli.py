@@ -95,6 +95,26 @@ def _async_vs_blocking() -> CampaignSpec:
     )
 
 
+def _store_backends() -> CampaignSpec:
+    """Lossy checkpointing across every checkpoint-store backend.
+
+    Sweeps ``store_backend x write_mode`` under FTI multilevel recovery so
+    the priced profiles (memory staging, node-local disk, remote object
+    store) and the chunked backend's dedup ratio can be compared against the
+    paper's implicit PFS on the same failure trace.
+    """
+    return CampaignSpec(
+        name="store-backends",
+        kind="ft",
+        methods=("jacobi",),
+        schemes=("lossy",),
+        recovery_levels=("fti",),
+        write_modes=("blocking", "async"),
+        store_backends=("pfs", "memory", "disk", "object", "chunked"),
+        repetitions=2,
+    )
+
+
 def _mtti_sweep() -> CampaignSpec:
     """Lossy vs traditional as the machine gets less reliable."""
     return CampaignSpec(
@@ -113,6 +133,7 @@ PRESETS: Dict[str, object] = {
     "scheme-sweep": _scheme_sweep,
     "error-bound-sweep": _error_bound_sweep,
     "async-vs-blocking": _async_vs_blocking,
+    "store-backends": _store_backends,
     "mtti-sweep": _mtti_sweep,
 }
 

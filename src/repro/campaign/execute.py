@@ -282,7 +282,8 @@ def _run_ft(cell) -> Dict[str, object]:
     scheme's checkpoint cost is characterized first, then Young's formula maps
     it to the interval (unless the cell pins an explicit interval).  The
     cell's scenario coordinates (failure model x recovery levels x checkpoint
-    costing x write mode) select the engine regime; the default prices
+    costing x write mode x store backend) select the engine regime; the
+    default prices
     checkpoints from the measured pipeline payload under the paper's
     blocking-write Poisson/PFS setup, while ``write_mode="async"`` runs the
     two-channel timeline with overlapped drains and incremental payloads.
@@ -360,6 +361,7 @@ def _run_ft(cell) -> Dict[str, object]:
             recovery_levels=cell.recovery_levels,
             checkpoint_costing=cell.checkpoint_costing,
             write_mode=cell.write_mode,
+            store_backend=cell.store_backend,
         ),
     )
     report = runner.run()
@@ -384,6 +386,7 @@ def _run_ft(cell) -> Dict[str, object]:
         "recovery_levels": str(cell.recovery_levels),
         "checkpoint_costing": str(cell.checkpoint_costing),
         "write_mode": str(cell.write_mode),
+        "store_backend": str(cell.store_backend),
     }
 
 

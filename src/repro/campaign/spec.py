@@ -13,8 +13,8 @@ cells can be
 
 :class:`CampaignSpec` is the declarative grid {kind x method x scheme x
 compressor x error bound x error-bound policy x interval x MTTI x scenario
-(failure model x recovery levels x checkpoint costing x write mode) x scale
-x repetition}
+(failure model x recovery levels x checkpoint costing x write mode x store
+backend) x scale x repetition}
 that expands into the cell list;
 figure modules that need a heterogeneous or specially seeded cell list pass
 explicit ``cells`` instead of grid axes.
@@ -55,7 +55,11 @@ KINDS = (
 #: 6: async captures gained staging-slot backpressure (MachineSpec
 #: .async_staging_slots): drains slower than the checkpoint interval no
 #: longer grow the dirty queue without bound, changing async ft reports.
-CACHE_VERSION = 6
+#: 7: pluggable checkpoint-store backends added the store-backend axis
+#: (pfs/memory/disk/object/chunked) to ft cells; non-default backends price
+#: writes/drains/reads through their StoreProfile and chunked backends dedup
+#: shipped bytes, changing those cells' reports (pfs cells are unchanged).
+CACHE_VERSION = 7
 
 _Params = Tuple[Tuple[str, object], ...]
 
@@ -152,6 +156,7 @@ class RunSpec:
     recovery_levels: str = "pfs"
     checkpoint_costing: str = "measured"
     write_mode: str = "blocking"
+    store_backend: str = "pfs"
     checkpoint_interval_seconds: Optional[float] = None
     repetition: int = 0
     seed: int = 2018
@@ -171,6 +176,7 @@ class RunSpec:
             CAMPAIGN_FAILURE_MODELS,
             CHECKPOINT_COSTINGS,
             RECOVERY_LEVELS,
+            STORE_BACKENDS,
             WRITE_MODES,
         )
 
@@ -195,6 +201,11 @@ class RunSpec:
         if self.write_mode not in WRITE_MODES:
             raise ValueError(
                 f"unknown write mode {self.write_mode!r}; known: {WRITE_MODES}"
+            )
+        if self.store_backend not in STORE_BACKENDS:
+            raise ValueError(
+                f"unknown store backend {self.store_backend!r}; "
+                f"known: {STORE_BACKENDS}"
             )
         if self.error_bound_policy not in BOUND_POLICIES:
             # "per_variable" is deliberately excluded: a cell cannot carry
@@ -233,6 +244,7 @@ class RunSpec:
             "recovery_levels": self.recovery_levels,
             "checkpoint_costing": self.checkpoint_costing,
             "write_mode": self.write_mode,
+            "store_backend": self.store_backend,
             "checkpoint_interval_seconds": (
                 None
                 if self.checkpoint_interval_seconds is None
@@ -291,6 +303,7 @@ class CampaignSpec:
     recovery_levels: Tuple[str, ...] = ("pfs",)
     checkpoint_costings: Tuple[str, ...] = ("measured",)
     write_modes: Tuple[str, ...] = ("blocking",)
+    store_backends: Tuple[str, ...] = ("pfs",)
     process_counts: Tuple[int, ...] = (2048,)
     repetitions: int = 1
     seed: int = 2018
@@ -318,6 +331,7 @@ class CampaignSpec:
             self, "checkpoint_costings", tuple(self.checkpoint_costings)
         )
         object.__setattr__(self, "write_modes", tuple(self.write_modes))
+        object.__setattr__(self, "store_backends", tuple(self.store_backends))
         object.__setattr__(self, "process_counts", tuple(int(p) for p in self.process_counts))
         object.__setattr__(self, "rtols", _freeze_params(dict(self.rtols)))
         object.__setattr__(self, "params", _freeze_params(self.params))
@@ -346,27 +360,29 @@ class CampaignSpec:
                                         for levels in self.recovery_levels:
                                             for costing in self.checkpoint_costings:
                                                 for mode in self.write_modes:
-                                                    for procs in self.process_counts:
-                                                        for rep in range(
-                                                            self.repetitions
-                                                        ):
-                                                            expanded.append(
-                                                                self._cell(
-                                                                    method,
-                                                                    scheme,
-                                                                    compressor,
-                                                                    eb,
-                                                                    policy,
-                                                                    interval,
-                                                                    mtti,
-                                                                    failure_model,
-                                                                    levels,
-                                                                    costing,
-                                                                    mode,
-                                                                    procs,
-                                                                    rep,
+                                                    for backend in self.store_backends:
+                                                        for procs in self.process_counts:
+                                                            for rep in range(
+                                                                self.repetitions
+                                                            ):
+                                                                expanded.append(
+                                                                    self._cell(
+                                                                        method,
+                                                                        scheme,
+                                                                        compressor,
+                                                                        eb,
+                                                                        policy,
+                                                                        interval,
+                                                                        mtti,
+                                                                        failure_model,
+                                                                        levels,
+                                                                        costing,
+                                                                        mode,
+                                                                        backend,
+                                                                        procs,
+                                                                        rep,
+                                                                    )
                                                                 )
-                                                            )
         return expanded
 
     def _cell(
@@ -382,6 +398,7 @@ class CampaignSpec:
         recovery_levels: str,
         checkpoint_costing: str,
         write_mode: str,
+        store_backend: str,
         procs: int,
         rep: int,
     ) -> RunSpec:
@@ -407,6 +424,8 @@ class CampaignSpec:
             salts += ["costing", checkpoint_costing]
         if write_mode != "blocking":
             salts += ["write_mode", write_mode]
+        if store_backend != "pfs":
+            salts += ["store_backend", store_backend]
         cell_seed = derive_seed(self.seed, *salts)
         return RunSpec(
             kind=self.kind,
@@ -422,6 +441,7 @@ class CampaignSpec:
             recovery_levels=recovery_levels,
             checkpoint_costing=checkpoint_costing,
             write_mode=write_mode,
+            store_backend=store_backend,
             checkpoint_interval_seconds=interval,
             repetition=rep,
             seed=cell_seed,
@@ -449,6 +469,7 @@ class CampaignSpec:
             * len(self.recovery_levels)
             * len(self.checkpoint_costings)
             * len(self.write_modes)
+            * len(self.store_backends)
             * len(self.process_counts)
             * self.repetitions
         )
@@ -470,6 +491,7 @@ class CampaignSpec:
             "recovery_levels": list(self.recovery_levels),
             "checkpoint_costings": list(self.checkpoint_costings),
             "write_modes": list(self.write_modes),
+            "store_backends": list(self.store_backends),
             "process_counts": list(self.process_counts),
             "repetitions": int(self.repetitions),
             "seed": int(self.seed),

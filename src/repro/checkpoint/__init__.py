@@ -17,11 +17,17 @@ from repro.checkpoint.serialization import (
     CheckpointPayload,
 )
 from repro.checkpoint.store import (
+    FAILURE_SCOPES,
+    STORE_PROFILES,
     CheckpointStore,
-    MemoryCheckpointStore,
     FileCheckpointStore,
+    MemoryCheckpointStore,
+    SimulatedObjectStore,
+    StoreProfile,
+    StoreStat,
     WriteReceipt,
 )
+from repro.checkpoint.chunked import ChunkedStore, DEFAULT_CHUNK_SIZE, chunk_digest
 from repro.checkpoint.manager import CheckpointManager, CheckpointRecord
 from repro.checkpoint.multilevel import (
     CheckpointLevel,
@@ -53,7 +59,15 @@ __all__ = [
     "CheckpointStore",
     "MemoryCheckpointStore",
     "FileCheckpointStore",
+    "SimulatedObjectStore",
+    "ChunkedStore",
+    "StoreProfile",
+    "StoreStat",
     "WriteReceipt",
+    "FAILURE_SCOPES",
+    "STORE_PROFILES",
+    "DEFAULT_CHUNK_SIZE",
+    "chunk_digest",
     "CheckpointManager",
     "CheckpointRecord",
     "CheckpointLevel",

@@ -11,10 +11,16 @@ increasing resilience and cost:
 The paper writes all checkpoints at L4 through MPI-IO; this module adds the
 multilevel policy so the ablation benchmarks can quantify how much of the
 lossy-checkpointing gain survives when cheaper levels absorb most failures.
-The levels here are *modeled*: each level has a cost multiplier relative to a
-PFS write and a survival probability given a failure, and the
-:class:`MultilevelCheckpointStore` keeps one payload per level while exposing
-the plain :class:`~repro.checkpoint.store.CheckpointStore` interface.
+
+The store composes real :class:`~repro.checkpoint.store.CheckpointStore`
+backends: every level routes to a backend (one shared in-memory backend by
+default, reproducing the legacy behavior exactly), and each level's *pricing*
+comes from that backend's :class:`~repro.checkpoint.store.StoreProfile`
+scaled by the level's cost multiplier (see :meth:`MultilevelCheckpointStore.
+profile_for`).  Partner-level checkpoints additionally write a buddy replica
+through the backend's blob namespace — when the backend dedups
+(:class:`~repro.checkpoint.chunked.ChunkedStore`), the replica shares chunks
+with the primary copy and adds zero unique bytes.
 """
 
 from __future__ import annotations
@@ -23,7 +29,12 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.checkpoint.store import CheckpointStore, MemoryCheckpointStore, WriteReceipt
+from repro.checkpoint.store import (
+    CheckpointStore,
+    MemoryCheckpointStore,
+    StoreProfile,
+    WriteReceipt,
+)
 from repro.utils.rng import default_rng
 
 __all__ = ["CheckpointLevel", "MultilevelPolicy", "MultilevelCheckpointStore"]
@@ -97,12 +108,13 @@ class MultilevelPolicy:
 
 
 class MultilevelCheckpointStore(CheckpointStore):
-    """Store that keeps payloads per level and models level survival.
+    """Store that routes payloads per level and models level survival.
 
-    ``write`` assigns the level from the policy cycle; ``surviving_id`` draws
-    which of the stored checkpoints survive a failure (PFS always survives)
-    and returns the newest survivor — that is the checkpoint a recovery would
-    actually restart from.
+    ``write`` assigns the level from the policy cycle and routes the payload
+    to that level's backend; ``surviving_id`` draws which of the stored
+    checkpoints survive a failure (PFS always survives) and returns the
+    newest survivor — that is the checkpoint a recovery would actually
+    restart from.
 
     The policy cycle is keyed on *new dynamic* checkpoints only: the static
     checkpoint (negative ids) is pinned to PFS — it must be recoverable after
@@ -110,14 +122,75 @@ class MultilevelCheckpointStore(CheckpointStore):
     existing checkpoint keeps its level.  Neither advances the cycle, so
     ``snapshot_static()`` calls cannot shift the levels of later dynamic
     checkpoints.
+
+    ``backend`` is the shared backend every level routes to by default (an
+    in-memory store when omitted — the legacy behavior); ``level_backends``
+    overrides the backend for individual levels.  Partner-level writes add a
+    buddy replica under the blob key ``replica/L2/<id>`` on the partner
+    backend, via the dedup pool when the backend offers one.
     """
 
-    def __init__(self, policy: Optional[MultilevelPolicy] = None, *, seed=None) -> None:
+    def __init__(
+        self,
+        policy: Optional[MultilevelPolicy] = None,
+        *,
+        seed=None,
+        backend: Optional[CheckpointStore] = None,
+        level_backends: Optional[Dict[CheckpointLevel, CheckpointStore]] = None,
+    ) -> None:
         self.policy = policy or MultilevelPolicy()
-        self._store = MemoryCheckpointStore()
+        self._backend = backend if backend is not None else MemoryCheckpointStore()
+        self._level_backends = dict(level_backends or {})
         self._levels: Dict[int, CheckpointLevel] = {}
         self._dynamic_writes = 0
         self._rng = default_rng(seed)
+
+    # -- backend composition -----------------------------------------------
+    def backend_for(self, level: CheckpointLevel) -> CheckpointStore:
+        """The backend payloads at ``level`` are routed to."""
+        return self._level_backends.get(CheckpointLevel(level), self._backend)
+
+    def profile_for(self, level: CheckpointLevel) -> StoreProfile:
+        """Pricing profile of one level: backend profile x level multiplier."""
+        level = CheckpointLevel(level)
+        base = self.backend_for(level).profile
+        multiplier = self.policy.cost_multiplier[level]
+        if multiplier == 1.0:
+            return base
+        return base.scaled(multiplier, name=f"{base.name}/L{int(level)}")
+
+    def _backends(self) -> List[CheckpointStore]:
+        seen: List[CheckpointStore] = [self._backend]
+        for store in self._level_backends.values():
+            if all(store is not other for other in seen):
+                seen.append(store)
+        return seen
+
+    @staticmethod
+    def _replica_key(checkpoint_id: int) -> str:
+        return f"replica/L{int(CheckpointLevel.PARTNER)}/{int(checkpoint_id)}"
+
+    def _write_replica(self, store: CheckpointStore, checkpoint_id: int, payload: bytes) -> None:
+        key = self._replica_key(checkpoint_id)
+        put_chunked = getattr(store, "put_chunked_blob", None)
+        try:
+            if put_chunked is not None:
+                put_chunked(key, payload)
+            else:
+                store.put_blob(key, payload)
+        except NotImplementedError:
+            pass  # backend has no blob namespace; replica stays modeled-only
+
+    def _delete_replica(self, store: CheckpointStore, checkpoint_id: int) -> None:
+        key = self._replica_key(checkpoint_id)
+        delete_chunked = getattr(store, "delete_chunked_blob", None)
+        try:
+            if delete_chunked is not None:
+                delete_chunked(key)
+            else:
+                store.delete_blob(key)
+        except NotImplementedError:
+            pass
 
     # -- CheckpointStore interface -----------------------------------------
     def write(self, checkpoint_id: int, payload: bytes) -> WriteReceipt:
@@ -130,17 +203,49 @@ class MultilevelCheckpointStore(CheckpointStore):
             level = self.policy.level_for(self._dynamic_writes)
             self._dynamic_writes += 1
         self._levels[checkpoint_id] = level
-        return self._store.write(checkpoint_id, payload)
+        store = self.backend_for(level)
+        receipt = store.write(checkpoint_id, payload)
+        if level == CheckpointLevel.PARTNER:
+            self._write_replica(store, checkpoint_id, payload)
+        return receipt
 
     def read(self, checkpoint_id: int) -> bytes:
-        return self._store.read(checkpoint_id)
+        checkpoint_id = int(checkpoint_id)
+        level = self._levels.get(checkpoint_id)
+        if level is not None:
+            return self.backend_for(level).read(checkpoint_id)
+        for store in self._backends():
+            try:
+                return store.read(checkpoint_id)
+            except KeyError:
+                continue
+        raise KeyError(f"no checkpoint with id {checkpoint_id}")
 
     def ids(self) -> List[int]:
-        return self._store.ids()
+        found = set()
+        for store in self._backends():
+            found.update(store.ids())
+        return sorted(found)
 
     def delete(self, checkpoint_id: int) -> None:
-        self._levels.pop(int(checkpoint_id), None)
-        self._store.delete(checkpoint_id)
+        checkpoint_id = int(checkpoint_id)
+        level = self._levels.pop(checkpoint_id, None)
+        if level is not None:
+            store = self.backend_for(level)
+            store.delete(checkpoint_id)
+            if level == CheckpointLevel.PARTNER:
+                self._delete_replica(store, checkpoint_id)
+            return
+        for store in self._backends():
+            store.delete(checkpoint_id)
+
+    # -- profile & durability ---------------------------------------------
+    @property
+    def profile(self) -> StoreProfile:
+        # The store as a whole is as durable (and as expensive) as its
+        # PFS-level backend: that is where static and cycle-top checkpoints
+        # land, and what a whole-system recovery reads from.
+        return self.backend_for(CheckpointLevel.PFS).profile
 
     # -- multilevel-specific ---------------------------------------------------
     def next_level(self, offset: int = 0) -> CheckpointLevel:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
+from repro.checkpoint.store import StoreProfile
 from repro.cluster.pfs import PFSModel
 from repro.utils.validation import check_nonnegative, check_positive
 
@@ -214,6 +215,7 @@ class ClusterModel:
         *,
         compressed: bool = True,
         write_cost_multiplier: float = 1.0,
+        profile: Optional[StoreProfile] = None,
     ) -> float:
         """Modeled time of one checkpoint write.
 
@@ -223,10 +225,17 @@ class ClusterModel:
         stage.  ``write_cost_multiplier`` scales the storage-write portion
         only (FTI-style multilevel checkpointing prices an L1 local write at a
         few percent of a PFS write; compression time is level-independent).
+        ``profile`` prices the storage write through a
+        :class:`~repro.checkpoint.store.StoreProfile` instead of the machine's
+        PFS model (``None``, the default, keeps the legacy PFS path
+        bit-exact).
         """
-        write = self.spec.pfs.write_seconds(
-            compressed_bytes, num_processes=self.num_processes
-        )
+        if profile is not None:
+            write = profile.write_seconds(compressed_bytes, self.num_processes)
+        else:
+            write = self.spec.pfs.write_seconds(
+                compressed_bytes, num_processes=self.num_processes
+            )
         if write_cost_multiplier != 1.0:
             write *= check_positive(write_cost_multiplier, "write_cost_multiplier")
         if not compressed:
@@ -265,6 +274,7 @@ class ClusterModel:
         compressed_bytes: float,
         *,
         write_cost_multiplier: float = 1.0,
+        profile: Optional[StoreProfile] = None,
     ) -> float:
         """I/O-channel time to drain one staged checkpoint to storage.
 
@@ -272,11 +282,17 @@ class ClusterModel:
         contended async bandwidth
         (:attr:`~repro.cluster.pfs.PFSModel.async_bandwidth_fraction`);
         ``write_cost_multiplier`` scales it for cheap multilevel targets,
-        exactly as in :meth:`checkpoint_seconds`.
+        exactly as in :meth:`checkpoint_seconds`.  ``profile`` reroutes the
+        drain through a target store's
+        :class:`~repro.checkpoint.store.StoreProfile` (its own contended
+        async fraction included); ``None`` keeps the legacy PFS path.
         """
-        drain = self.spec.pfs.drain_seconds(
-            compressed_bytes, num_processes=self.num_processes
-        )
+        if profile is not None:
+            drain = profile.drain_seconds(compressed_bytes, self.num_processes)
+        else:
+            drain = self.spec.pfs.drain_seconds(
+                compressed_bytes, num_processes=self.num_processes
+            )
         if write_cost_multiplier != 1.0:
             drain *= check_positive(write_cost_multiplier, "write_cost_multiplier")
         return drain
@@ -289,16 +305,22 @@ class ClusterModel:
         static_bytes: float = 0.0,
         compressed: bool = True,
         read_cost_multiplier: float = 1.0,
+        profile: Optional[StoreProfile] = None,
     ) -> float:
         """Modeled time of one recovery (read + decompress + rebuild statics).
 
         ``read_cost_multiplier`` scales the storage-read portion only, so a
         multilevel recovery from a local/partner/RS-encoded checkpoint costs
-        less than the PFS read the paper always prices.
+        less than the PFS read the paper always prices.  ``profile`` reads
+        through a store's :class:`~repro.checkpoint.store.StoreProfile`
+        instead of the machine's PFS model.
         """
-        read = self.spec.pfs.read_seconds(
-            compressed_bytes, num_processes=self.num_processes
-        )
+        if profile is not None:
+            read = profile.read_seconds(compressed_bytes, self.num_processes)
+        else:
+            read = self.spec.pfs.read_seconds(
+                compressed_bytes, num_processes=self.num_processes
+            )
         if read_cost_multiplier != 1.0:
             read *= check_positive(read_cost_multiplier, "read_cost_multiplier")
         rebuild = 0.0

@@ -80,6 +80,7 @@ import numpy as np
 
 from repro.checkpoint.multilevel import MultilevelCheckpointStore, MultilevelPolicy
 from repro.checkpoint.pipeline import CheckpointPipeline, PipelineSnapshot
+from repro.checkpoint.store import CheckpointStore, StoreProfile
 from repro.cluster.machine import ClusterModel
 from repro.engine.events import (
     CheckpointDeferredEvent,
@@ -334,6 +335,10 @@ class FaultToleranceEngine:
         self._async: bool = self.scenario.asynchronous
         self._injector = None
         self._store: Optional[MultilevelCheckpointStore] = None
+        #: Physical payload backend selected by ``scenario.store_backend``
+        #: (None for the default ``pfs`` backend — legacy pricing path).
+        self._backend: Optional[CheckpointStore] = None
+        self._backend_dir = None  # TemporaryDirectory for the disk backend
         self._pipeline: Optional[CheckpointPipeline] = None
         self._state: EngineState = EngineState(
             next_checkpoint_due=self.checkpoint_interval_seconds
@@ -348,15 +353,30 @@ class FaultToleranceEngine:
 
         clock = self._clock = VirtualClock()
         self._injector = self.scenario.build_injector(self.mtti_seconds, self.seed)
+        if self.scenario.default_backend:
+            self._backend = None
+        elif self.scenario.store_backend == "disk":
+            import tempfile
+
+            # Held on self so the payload files outlive run() for inspection;
+            # the TemporaryDirectory finalizer cleans up with the engine.
+            self._backend_dir = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+            self._backend = self.scenario.build_backend_store(
+                directory=self._backend_dir.name
+            )
+        else:
+            self._backend = self.scenario.build_backend_store()
         self._store = self.scenario.build_multilevel_store(
-            self.seed, policy=self.multilevel_policy
+            self.seed, policy=self.multilevel_policy, backend=self._backend
         )
         self._async = self.scenario.asynchronous
         self._staging_slots = int(self.cluster.spec.async_staging_slots)
         self._pipeline = CheckpointPipeline(
             self.scheme,
             solver=self.solver,
-            store=self._store,
+            # Multilevel wraps the physical backend when both are selected;
+            # a bare backend persists payloads even under PFS-only recovery.
+            store=self._store if self._store is not None else self._backend,
             # Async cells ship incremental deltas — the drain prices the
             # bytes an overlapped incremental writer would actually move.
             incremental=self._async,
@@ -658,12 +678,23 @@ class FaultToleranceEngine:
             model_compressed = model_uncompressed / max(ratio, 1e-12)
         level: Optional[int] = None
         write_multiplier = 1.0
+        write_profile: Optional[StoreProfile] = None
         if self._store is not None:
             # With drains outstanding the level cycle has already been
             # "claimed" by the pending writes, so peek past them.
             next_level = self._store.next_level(len(state.pending_drains))
             level = int(next_level)
-            write_multiplier = self._store.policy.cost_multiplier[next_level]
+            if self._backend is None:
+                write_multiplier = self._store.policy.cost_multiplier[next_level]
+            else:
+                # The level's profile already folds in the cost multiplier;
+                # keep the scalar at 1.0 so the cost is not double-counted.
+                write_profile = self._store.profile_for(next_level)
+        elif self._backend is not None:
+            write_profile = self._backend.profile
+        # A dedup backend only ships the chunks the pool does not already
+        # hold; duplicate bytes never hit the wire, so they cost nothing.
+        ship_compressed = model_compressed * self._dedup_fraction(snapshot)
 
         if self._async:
             self._enqueue_drain(
@@ -672,16 +703,19 @@ class FaultToleranceEngine:
                 ratio=ratio,
                 model_uncompressed=model_uncompressed,
                 model_compressed=model_compressed,
+                ship_compressed=ship_compressed,
                 level=level,
                 write_multiplier=write_multiplier,
+                write_profile=write_profile,
             )
             return
 
         ckpt_seconds = self.cluster.checkpoint_seconds(
             model_uncompressed,
-            model_compressed,
+            ship_compressed,
             compressed=self.scheme.uses_compression,
             write_cost_multiplier=write_multiplier,
+            profile=write_profile,
         )
 
         start = clock.now
@@ -720,8 +754,9 @@ class FaultToleranceEngine:
             compute_seconds_at_completion=state.compute_seconds_total,
             level=level,
         )
-        if self._store is not None:
+        if self._store is not None or self._backend is not None:
             self._pipeline.commit(snapshot)
+        if self._store is not None:
             record.level = int(self._store.level_of(record.checkpoint_id))
             state.records[record.checkpoint_id] = record
             self._prune_unreachable_records()
@@ -749,8 +784,10 @@ class FaultToleranceEngine:
         ratio: float,
         model_uncompressed: float,
         model_compressed: float,
+        ship_compressed: float,
         level: Optional[int],
         write_multiplier: float,
+        write_profile: Optional[StoreProfile],
     ) -> None:
         """Async checkpoint: inline capture on the compute channel, then a
         drain interval on the I/O channel.
@@ -799,7 +836,9 @@ class FaultToleranceEngine:
             return
 
         drain_seconds = self.cluster.drain_seconds(
-            model_compressed, write_cost_multiplier=write_multiplier
+            ship_compressed,
+            write_cost_multiplier=write_multiplier,
+            profile=write_profile,
         )
         drain_start = max(clock.now, state.io_busy_until)
         drain_end = drain_start + drain_seconds
@@ -1021,20 +1060,48 @@ class FaultToleranceEngine:
                 self._store.delete(checkpoint_id)
                 del state.records[checkpoint_id]
 
+    def _dedup_fraction(self, snapshot: PipelineSnapshot) -> float:
+        """Fraction of this payload's bytes a dedup backend actually ships.
+
+        1.0 (exact) for every non-dedup backend, so default-path pricing is
+        untouched.  For a chunked backend, only the chunks the pool does not
+        already hold travel to storage; the fraction previews that split on
+        the real serialized payload before anything is committed.
+        """
+        if self._backend is None:
+            return 1.0
+        preview = getattr(self._backend, "preview_write", None)
+        if preview is None:
+            return 1.0
+        nbytes, unique_new = preview(snapshot.payload)
+        if nbytes <= 0:
+            return 1.0
+        return unique_new / nbytes
+
     def _recovery_seconds(self, last: Optional[CheckpointRecord]) -> float:
+        read_profile: Optional[StoreProfile] = None
+        if self._backend is not None:
+            read_profile = self._backend.profile
         if last is None:
             # Nothing to read back: only the environment and static data are
             # rebuilt before restarting from the initial guess.
             return self.cluster.recovery_seconds(
-                0.0, 0.0, static_bytes=self.scale.static_bytes, compressed=False
+                0.0,
+                0.0,
+                static_bytes=self.scale.static_bytes,
+                compressed=False,
+                profile=read_profile,
             )
         read_multiplier = 1.0
         if last.level is not None and self._store is not None:
             from repro.checkpoint.multilevel import CheckpointLevel
 
-            read_multiplier = self._store.policy.cost_multiplier[
-                CheckpointLevel(last.level)
-            ]
+            if self._backend is None:
+                read_multiplier = self._store.policy.cost_multiplier[
+                    CheckpointLevel(last.level)
+                ]
+            else:
+                read_profile = self._store.profile_for(CheckpointLevel(last.level))
         read_uncompressed = (
             last.restore_uncompressed_bytes
             if last.restore_uncompressed_bytes is not None
@@ -1051,6 +1118,7 @@ class FaultToleranceEngine:
             static_bytes=self.scale.static_bytes,
             compressed=self.scheme.uses_compression,
             read_cost_multiplier=read_multiplier,
+            profile=read_profile,
         )
 
     def _strike_time(self, failure_time: float, window_start: float) -> float:
@@ -1122,6 +1190,19 @@ class FaultToleranceEngine:
             # Absent under modeled costing so the paper-regime reports stay
             # byte-identical to the frozen pre-pipeline runner.
             info["checkpoint_costing"] = "measured"
+        if not self.scenario.default_backend:
+            info["store_backend"] = self.scenario.store_backend
+            dedup_stats = getattr(self._backend, "dedup_stats", None)
+            if dedup_stats is not None:
+                # Byte counts only — deterministic payload accounting, never
+                # host wall-clock (WriteReceipt.seconds stays out of reports).
+                stats = dedup_stats()
+                info["logical_bytes"] = stats["logical_bytes"]
+                info["unique_bytes"] = stats["unique_bytes"]
+                ratio = stats["dedup_ratio"]
+                info["dedup_ratio"] = (
+                    ratio if ratio == ratio and ratio != float("inf") else None
+                )
         if self._async:
             info["write_mode"] = "async"
             info["io_drain_seconds"] = float(sum(state.drain_times))

@@ -31,6 +31,16 @@ solver only stalls for the inline capture while the PFS write *drains* on a
 separate I/O channel overlapping subsequent compute; the checkpoint is not
 recoverable until its drain completes, a failure mid-drain falls back to
 the previous completed checkpoint, and payloads ship incremental deltas).
+
+A fifth knob, **store backend**, selects which
+:class:`~repro.checkpoint.store.CheckpointStore` holds the payloads and
+which :class:`~repro.checkpoint.store.StoreProfile` prices the writes,
+reads, and drains: ``pfs`` (the default — the paper's implicit parallel
+file system, priced through the legacy :class:`~repro.cluster.pfs.PFSModel`
+path bit-exactly), ``memory`` (node-RAM staging), ``disk`` (node-local
+burst buffer), ``object`` (a simulated remote object store), or ``chunked``
+(content-addressed dedup over the object store — unique bytes price the
+write, duplicate chunks never hit the wire).
 """
 
 from __future__ import annotations
@@ -40,7 +50,13 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.checkpoint.chunked import ChunkedStore
 from repro.checkpoint.multilevel import MultilevelCheckpointStore, MultilevelPolicy
+from repro.checkpoint.store import (
+    CheckpointStore,
+    MemoryCheckpointStore,
+    SimulatedObjectStore,
+)
 from repro.cluster.failures import FailureInjector, make_failure_model
 from repro.utils.rng import SeedLike, default_rng, derive_seed
 
@@ -51,6 +67,7 @@ __all__ = [
     "RECOVERY_LEVELS",
     "CHECKPOINT_COSTINGS",
     "WRITE_MODES",
+    "STORE_BACKENDS",
     "DEFAULT_SCENARIO",
 ]
 
@@ -76,6 +93,12 @@ CHECKPOINT_COSTINGS = ("measured", "modeled")
 #: drain with compute on a second I/O channel and ships incremental deltas.
 WRITE_MODES = ("blocking", "async")
 
+#: Which checkpoint-store backend holds (and prices) the payloads.  ``pfs``
+#: is the paper's implicit parallel file system and reproduces the legacy
+#: pricing path bit-exactly; the others route pricing through the backend's
+#: :class:`~repro.checkpoint.store.StoreProfile`.
+STORE_BACKENDS = ("pfs", "memory", "disk", "object", "chunked")
+
 _Params = Tuple[Tuple[str, object], ...]
 
 
@@ -93,6 +116,7 @@ class Scenario:
     failure_params: _Params = ()
     checkpoint_costing: str = "measured"
     write_mode: str = "blocking"
+    store_backend: str = "pfs"
 
     def __post_init__(self) -> None:
         if self.failure_model not in FAILURE_MODELS:
@@ -114,6 +138,11 @@ class Scenario:
             raise ValueError(
                 f"unknown write mode {self.write_mode!r}; known: {WRITE_MODES}"
             )
+        if self.store_backend not in STORE_BACKENDS:
+            raise ValueError(
+                f"unknown store backend {self.store_backend!r}; "
+                f"known: {STORE_BACKENDS}"
+            )
         object.__setattr__(
             self, "failure_params", tuple((str(k), v) for k, v in self.failure_params)
         )
@@ -125,7 +154,7 @@ class Scenario:
 
     @property
     def is_paper_regime(self) -> bool:
-        """Poisson arrivals + PFS-only recovery + blocking writes.
+        """Poisson arrivals + PFS-only recovery + blocking writes to the PFS.
 
         The modeled variant of this regime is what the frozen pre-pipeline
         runner priced, so its reports carry no scenario info keys — keeping
@@ -136,6 +165,7 @@ class Scenario:
             and self.recovery_levels == "pfs"
             and not self.failure_params
             and self.write_mode == "blocking"
+            and self.store_backend == "pfs"
         )
 
     @property
@@ -153,6 +183,11 @@ class Scenario:
         """True when checkpoints walk the FTI level cycle."""
         return self.recovery_levels == "fti"
 
+    @property
+    def default_backend(self) -> bool:
+        """True for the paper's implicit PFS backend (legacy pricing path)."""
+        return self.store_backend == "pfs"
+
     # -- factories -----------------------------------------------------------
     def build_injector(
         self, mtti_seconds: Optional[float], seed: SeedLike
@@ -169,8 +204,38 @@ class Scenario:
         )
         return FailureInjector(mtti_seconds, seed=seed, model=model)
 
+    def build_backend_store(
+        self, *, directory: Optional[str] = None
+    ) -> Optional[CheckpointStore]:
+        """The physical payload store this scenario's backend selects.
+
+        ``None`` for the default ``pfs`` backend: the engine keeps its legacy
+        in-memory payload holding with modeled PFS pricing, which the
+        byte-identity suite pins.  ``disk`` needs a ``directory`` to root the
+        :class:`~repro.checkpoint.store.FileCheckpointStore` in.
+        """
+        if self.store_backend == "pfs":
+            return None
+        if self.store_backend == "memory":
+            return MemoryCheckpointStore()
+        if self.store_backend == "disk":
+            if directory is None:
+                raise ValueError("store_backend='disk' needs a directory")
+            from repro.checkpoint.store import FileCheckpointStore
+
+            return FileCheckpointStore(directory)
+        if self.store_backend == "object":
+            return SimulatedObjectStore()
+        if self.store_backend == "chunked":
+            return ChunkedStore(SimulatedObjectStore())
+        raise AssertionError(f"unhandled store backend {self.store_backend!r}")
+
     def build_multilevel_store(
-        self, seed: SeedLike, *, policy: Optional[MultilevelPolicy] = None
+        self,
+        seed: SeedLike,
+        *,
+        policy: Optional[MultilevelPolicy] = None,
+        backend: Optional[CheckpointStore] = None,
     ) -> Optional[MultilevelCheckpointStore]:
         """The multilevel store for one run (``None`` under PFS-only recovery).
 
@@ -192,7 +257,7 @@ class Scenario:
             store_seed = derive_seed(
                 int(default_rng(seed).integers(0, 2**63 - 1)), "multilevel"
             )
-        return MultilevelCheckpointStore(policy, seed=store_seed)
+        return MultilevelCheckpointStore(policy, seed=store_seed, backend=backend)
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -203,6 +268,7 @@ class Scenario:
             "failure_params": [[k, v] for k, v in self.failure_params],
             "checkpoint_costing": self.checkpoint_costing,
             "write_mode": self.write_mode,
+            "store_backend": self.store_backend,
         }
 
     @classmethod
@@ -216,6 +282,7 @@ class Scenario:
             ),
             checkpoint_costing=str(data.get("checkpoint_costing", "measured")),
             write_mode=str(data.get("write_mode", "blocking")),
+            store_backend=str(data.get("store_backend", "pfs")),
         )
 
 

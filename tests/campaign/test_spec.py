@@ -302,3 +302,60 @@ class TestWriteModeAxis:
         rebuilt = CampaignSpec.from_json(spec.to_json())
         assert rebuilt == spec
         assert rebuilt.expand() == spec.expand()
+
+
+class TestStoreBackendAxis:
+    def test_runspec_rejects_unknown_store_backend(self):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            RunSpec(store_backend="tape")
+
+    def test_store_backend_changes_cache_key(self):
+        base = RunSpec()
+        assert base.store_backend == "pfs"
+        assert (
+            base.cache_key() != base.with_overrides(store_backend="chunked").cache_key()
+        )
+
+    def test_pre_backend_dicts_load_default(self):
+        data = RunSpec().to_dict()
+        del data["store_backend"]
+        rebuilt = RunSpec.from_dict(data)
+        assert rebuilt.store_backend == "pfs"
+
+    def test_grid_expands_store_backend_axis(self):
+        spec = CampaignSpec(
+            methods=("jacobi",),
+            write_modes=("blocking", "async"),
+            store_backends=("pfs", "memory", "disk", "object", "chunked"),
+        )
+        cells = spec.expand()
+        assert len(cells) == 2 * 5
+        assert len(spec) == len(cells)
+        coords = {(c.write_mode, c.store_backend) for c in cells}
+        assert len(coords) == 10
+        assert len({cell.cache_key() for cell in cells}) == len(cells)
+
+    def test_default_store_backend_keeps_historical_seeds(self):
+        # Pinning pfs expands to exactly the same cells as not mentioning the
+        # axis, so pre-backend campaign caches stay warm.
+        base = CampaignSpec(methods=("jacobi", "cg"), repetitions=3, seed=99)
+        pinned = CampaignSpec(
+            methods=("jacobi", "cg"),
+            repetitions=3,
+            seed=99,
+            store_backends=("pfs",),
+        )
+        assert base.expand() == pinned.expand()
+        varied = CampaignSpec(
+            methods=("jacobi",),
+            store_backends=("pfs", "memory", "chunked"),
+            repetitions=2,
+        )
+        cells = varied.expand()
+        assert len({c.seed for c in cells}) == len(cells)
+
+    def test_json_round_trip_with_store_backends(self):
+        spec = CampaignSpec(methods=("jacobi",), store_backends=("pfs", "chunked"))
+        rebuilt = CampaignSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.expand() == spec.expand()

@@ -1,14 +1,30 @@
 """Tests for checkpoint stores."""
 
+import os
+
 import pytest
 
-from repro.checkpoint.store import FileCheckpointStore, MemoryCheckpointStore
+from repro.checkpoint.store import (
+    DISK_PROFILE,
+    FAILURE_SCOPES,
+    MEMORY_PROFILE,
+    OBJECT_PROFILE,
+    PFS_PROFILE,
+    STORE_PROFILES,
+    FileCheckpointStore,
+    MemoryCheckpointStore,
+    SimulatedObjectStore,
+    StoreProfile,
+)
+from repro.cluster.pfs import PFSModel
 
 
-@pytest.fixture(params=["memory", "file"])
+@pytest.fixture(params=["memory", "file", "object"])
 def store(request, tmp_path):
     if request.param == "memory":
         return MemoryCheckpointStore()
+    if request.param == "object":
+        return SimulatedObjectStore()
     return FileCheckpointStore(tmp_path / "ckpts")
 
 
@@ -50,6 +66,120 @@ class TestCheckpointStores:
         with pytest.raises(ValueError):
             store.prune(keep_last=-1)
 
+    def test_stat(self, store):
+        store.write(4, b"payload!")
+        stat = store.stat(4)
+        assert stat.checkpoint_id == 4
+        assert stat.nbytes == 8
+        assert stat.backend == store.profile.name
+        with pytest.raises(KeyError):
+            store.stat(99)
+
+    def test_receipt_seconds_is_wall_clock_diagnostic(self, store):
+        # perf_counter delta: tiny, non-negative, never a modeled time.
+        receipt = store.write(0, b"x" * 1024)
+        assert 0.0 <= receipt.seconds < 5.0
+
+    def test_blob_roundtrip(self, store):
+        store.put_blob("chunk/abc123", b"blob-bytes")
+        assert store.has_blob("chunk/abc123")
+        assert store.get_blob("chunk/abc123") == b"blob-bytes"
+        assert store.blob_keys() == ["chunk/abc123"]
+        store.delete_blob("chunk/abc123")
+        assert not store.has_blob("chunk/abc123")
+        assert store.blob_keys() == []
+        with pytest.raises(KeyError):
+            store.get_blob("chunk/abc123")
+
+    def test_blobs_do_not_collide_with_checkpoints(self, store):
+        store.write(1, b"checkpoint")
+        store.put_blob("1", b"blob")
+        assert store.read(1) == b"checkpoint"
+        assert store.get_blob("1") == b"blob"
+        store.delete_blob("1")
+        assert store.read(1) == b"checkpoint"
+
+
+class TestStoreProfile:
+    def test_pfs_profile_matches_pfs_model(self):
+        model = PFSModel()
+        nbytes = 3.5e9
+        for procs in (1, 256, 2048):
+            assert PFS_PROFILE.write_seconds(nbytes, procs) == pytest.approx(
+                model.write_seconds(nbytes, num_processes=procs), rel=0, abs=0
+            )
+            assert PFS_PROFILE.read_seconds(nbytes, procs) == pytest.approx(
+                model.read_seconds(nbytes, num_processes=procs), rel=0, abs=0
+            )
+
+    def test_profiles_are_distinct(self):
+        nbytes = 1e9
+        costs = {
+            name: profile.write_seconds(nbytes, 256)
+            for name, profile in STORE_PROFILES.items()
+        }
+        assert len(set(costs.values())) == len(costs)
+        assert costs["memory"] < costs["disk"] < costs["pfs"] < costs["object"]
+
+    def test_drain_slower_than_write(self):
+        for profile in STORE_PROFILES.values():
+            if profile.async_bandwidth_fraction < 1.0:
+                assert profile.drain_seconds(1e9) > profile.write_seconds(1e9)
+
+    def test_survives_rank_order(self):
+        assert MEMORY_PROFILE.survives("process")
+        assert not MEMORY_PROFILE.survives("node")
+        assert DISK_PROFILE.survives("node")
+        assert not DISK_PROFILE.survives("system")
+        for scope in FAILURE_SCOPES:
+            assert PFS_PROFILE.survives(scope)
+            assert OBJECT_PROFILE.survives(scope)
+        with pytest.raises(ValueError):
+            PFS_PROFILE.survives("universe")
+
+    def test_scaled_multiplies_cost_exactly(self):
+        base = PFS_PROFILE
+        scaled = base.scaled(7.0, name="pfs/L1")
+        assert scaled.name == "pfs/L1"
+        for procs in (1, 512):
+            assert scaled.write_seconds(2e9, procs) == pytest.approx(
+                7.0 * base.write_seconds(2e9, procs), rel=1e-12
+            )
+            assert scaled.read_seconds(2e9, procs) == pytest.approx(
+                7.0 * base.read_seconds(2e9, procs), rel=1e-12
+            )
+        with pytest.raises(ValueError):
+            base.scaled(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StoreProfile(name="bad", write_bandwidth=0.0, read_bandwidth=1.0)
+        with pytest.raises(ValueError):
+            StoreProfile(name="bad", write_bandwidth=1.0, read_bandwidth=1.0, latency=-1)
+        with pytest.raises(ValueError):
+            StoreProfile(
+                name="bad", write_bandwidth=1.0, read_bandwidth=1.0, durability="nope"
+            )
+
+    def test_store_survives_delegates_to_profile(self, tmp_path):
+        assert not MemoryCheckpointStore().survives("node")
+        disk = FileCheckpointStore(tmp_path / "d")
+        assert disk.survives("node") and not disk.survives("system")
+        assert SimulatedObjectStore().survives("system")
+
+
+class TestSimulatedObjectStore:
+    def test_op_counts(self):
+        store = SimulatedObjectStore()
+        store.write(1, b"a")
+        store.write(2, b"b")
+        store.read(1)
+        store.delete(2)
+        store.put_blob("k", b"v")
+        store.get_blob("k")
+        store.delete_blob("k")
+        assert store.op_counts == {"put": 3, "get": 2, "delete": 2}
+
 
 class TestMemorySpecific:
     def test_total_bytes(self):
@@ -74,3 +204,58 @@ class TestFileSpecific:
         (directory / "notes.txt").write_text("hi")
         (directory / "ckpt_bad.bin").write_text("hi")
         assert store.ids() == [1]
+
+    def test_blob_keys_escape_roundtrip(self, tmp_path):
+        store = FileCheckpointStore(tmp_path / "dir")
+        keys = ["chunk/deadbeef", "manifest/replica/L2/7", "odd%name"]
+        for key in keys:
+            store.put_blob(key, key.encode())
+        assert store.blob_keys() == sorted(keys)
+        for key in keys:
+            assert store.get_blob(key) == key.encode()
+
+    def test_kill_mid_write_preserves_previous_checkpoint(self, tmp_path, monkeypatch):
+        """A crash before the atomic rename must leave the old payload intact."""
+        directory = tmp_path / "dir"
+        store = FileCheckpointStore(directory)
+        store.write(5, b"old-complete-checkpoint")
+
+        real_replace = os.replace
+
+        def killed_replace(src, dst):
+            raise OSError("simulated power loss before rename")
+
+        monkeypatch.setattr(os, "replace", killed_replace)
+        with pytest.raises(OSError):
+            store.write(5, b"new-payload-that-never-lands")
+        monkeypatch.setattr(os, "replace", real_replace)
+
+        # Old payload is still fully readable; the torn write left only a
+        # temp file that neither ids() nor read() pick up.
+        assert store.read(5) == b"old-complete-checkpoint"
+        assert store.ids() == [5]
+        leftovers = [p.name for p in directory.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == ["ckpt_00000005.bin.tmp"]
+
+        # A fresh store over the same directory sees only the good payload,
+        # and the next write republishes cleanly over the leftover.
+        reopened = FileCheckpointStore(directory)
+        assert reopened.ids() == [5]
+        assert reopened.read(5) == b"old-complete-checkpoint"
+        reopened.write(5, b"recovered")
+        assert reopened.read(5) == b"recovered"
+
+    def test_kill_mid_write_first_checkpoint_never_visible(self, tmp_path, monkeypatch):
+        directory = tmp_path / "dir"
+        store = FileCheckpointStore(directory)
+
+        def killed_replace(src, dst):
+            raise OSError("simulated power loss before rename")
+
+        monkeypatch.setattr(os, "replace", killed_replace)
+        with pytest.raises(OSError):
+            store.write(0, b"half-written")
+        monkeypatch.undo()
+        assert store.ids() == []
+        with pytest.raises(KeyError):
+            store.read(0)

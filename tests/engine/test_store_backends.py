@@ -1,0 +1,210 @@
+"""Pluggable store backends: engine pricing, bitwise restores, campaign dedup."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    CheckpointPipeline,
+    ChunkedStore,
+    FileCheckpointStore,
+    MemoryCheckpointStore,
+    SimulatedObjectStore,
+)
+from repro.cluster.machine import ClusterModel
+from repro.core.scale import paper_scale
+from repro.core.schemes import CheckpointingScheme
+from repro.engine import FaultToleranceEngine, Scenario, run_failure_free
+from repro.solvers import JacobiSolver
+
+
+@pytest.fixture(scope="module")
+def backend_setup(poisson_small):
+    solver = JacobiSolver(poisson_small.A, rtol=1e-4, max_iter=100000)
+    baseline = run_failure_free(solver, poisson_small.b)
+    cluster = ClusterModel(num_processes=2048)
+    scale = paper_scale(2048)
+    iteration_seconds = cluster.calibrated_iteration_time("jacobi", baseline.iterations)
+    return poisson_small, solver, baseline, cluster, scale, iteration_seconds
+
+
+def _run(backend_setup, scenario, seed=11, **kwargs):
+    problem, solver, baseline, cluster, scale, iteration_seconds = backend_setup
+    defaults = dict(
+        cluster=cluster,
+        scale=scale,
+        mtti_seconds=400.0,
+        checkpoint_interval_seconds=150.0,
+        iteration_seconds=iteration_seconds,
+        baseline=baseline,
+        seed=seed,
+        scenario=scenario,
+    )
+    defaults.update(kwargs)
+    engine = FaultToleranceEngine(
+        solver, problem.b, CheckpointingScheme.lossy(1e-4), **defaults
+    )
+    return engine, engine.run()
+
+
+def _backend_store(name, tmp_path):
+    if name == "memory":
+        return MemoryCheckpointStore()
+    if name == "disk":
+        return FileCheckpointStore(tmp_path / "ckpts")
+    return ChunkedStore(SimulatedObjectStore(), chunk_size=4096)
+
+
+class TestBitwiseRestores:
+    @pytest.mark.parametrize("scheme_name", ["traditional", "lossless"])
+    def test_restore_identical_across_backends(
+        self, poisson_small, tmp_path, scheme_name
+    ):
+        """The same snapshot restores bitwise-identically from every backend."""
+        solver = JacobiSolver(poisson_small.A, rtol=1e-4, max_iter=100000)
+        states = []
+        solver.solve(poisson_small.b, callback=lambda s: states.append(s), max_iter=9)
+        state = states[-1]
+        scheme = getattr(CheckpointingScheme, scheme_name)()
+
+        restored = {}
+        for name in ("memory", "disk", "chunked"):
+            store = _backend_store(name, tmp_path / name)
+            pipeline = CheckpointPipeline(scheme, solver=solver, store=store)
+            snap = pipeline.snapshot(
+                state.x,
+                iteration=state.iteration,
+                resume_state=solver.capture_resume_state(state),
+                residual_norm=state.residual_norm,
+                b_norm=1.0,
+            )
+            pipeline.commit(snap)
+            restored[name] = pipeline.restore(snap.checkpoint_id)
+
+        reference = restored["memory"]
+        for name in ("disk", "chunked"):
+            assert np.array_equal(restored[name].x, reference.x)
+            assert restored[name].iteration == reference.iteration
+            if reference.resume_state is not None:
+                for key, vec in reference.resume_state.vectors.items():
+                    assert np.array_equal(restored[name].resume_state.vectors[key], vec)
+
+
+class TestEngineBackends:
+    @pytest.mark.parametrize("backend", ["memory", "disk", "object", "chunked"])
+    def test_run_converges_and_reports_backend(self, backend_setup, backend):
+        scenario = Scenario(
+            failure_model="scripted",
+            failure_params=(("times", (200.0, 900.0)),),
+            store_backend=backend,
+        )
+        _, report = _run(backend_setup, scenario)
+        assert report.converged
+        assert report.num_failures == 2
+        assert report.info["store_backend"] == backend
+
+    def test_default_backend_reports_no_store_keys(self, backend_setup):
+        scenario = Scenario(
+            failure_model="scripted", failure_params=(("times", (200.0,)),)
+        )
+        _, report = _run(backend_setup, scenario)
+        assert "store_backend" not in report.info
+        assert "dedup_ratio" not in report.info
+
+    def test_backend_pricing_is_distinct(self, backend_setup):
+        """Each profile prices the same write traffic differently."""
+        times = {}
+        for backend in ("pfs", "memory", "disk", "object"):
+            scenario = Scenario(
+                failure_model="scripted",
+                failure_params=(("times", (200.0,)),),
+                store_backend=backend,
+            )
+            _, report = _run(backend_setup, scenario)
+            times[backend] = report.checkpoint_seconds
+        assert len(set(times.values())) == 4
+        assert times["memory"] < times["disk"] < times["pfs"] < times["object"]
+
+    def test_backend_runs_are_deterministic(self, backend_setup):
+        """The same cell on the same backend reproduces its report exactly."""
+        scenario_kwargs = dict(
+            failure_model="scripted", failure_params=(("times", (200.0,)),)
+        )
+        _, first = _run(
+            backend_setup, Scenario(store_backend="chunked", **scenario_kwargs)
+        )
+        _, second = _run(
+            backend_setup, Scenario(store_backend="chunked", **scenario_kwargs)
+        )
+        assert first.to_dict() == second.to_dict()
+
+    def test_chunked_backend_reports_dedup(self, backend_setup):
+        scenario = Scenario(
+            failure_model="scripted",
+            failure_params=(("times", (200.0,)),),
+            recovery_levels="fti",
+            store_backend="chunked",
+        )
+        _, report = _run(backend_setup, scenario)
+        info = report.info
+        assert info["store_backend"] == "chunked"
+        assert info["unique_bytes"] > 0
+        assert info["logical_bytes"] >= info["unique_bytes"]
+        # PARTNER-level replicas share the chunk pool with the checkpoints
+        # they replicate, so dedup is guaranteed, not incidental.
+        assert info["dedup_ratio"] is None or info["dedup_ratio"] > 1.0
+        assert info["logical_bytes"] > info["unique_bytes"]
+
+    def test_chunked_backend_cheaper_than_object(self, backend_setup):
+        """Dedup prices writes at the unique-bytes fraction of the object store."""
+        kwargs = dict(
+            failure_model="scripted",
+            failure_params=(("times", (200.0,)),),
+            recovery_levels="fti",
+        )
+        _, chunked = _run(backend_setup, Scenario(store_backend="chunked", **kwargs))
+        _, plain = _run(backend_setup, Scenario(store_backend="object", **kwargs))
+        assert chunked.checkpoint_seconds <= plain.checkpoint_seconds
+
+    def test_async_drain_priced_through_profile(self, backend_setup):
+        kwargs = dict(
+            failure_model="scripted",
+            failure_params=(("times", (500.0,)),),
+            write_mode="async",
+        )
+        _, memory = _run(backend_setup, Scenario(store_backend="memory", **kwargs))
+        _, obj = _run(backend_setup, Scenario(store_backend="object", **kwargs))
+        assert memory.info["io_drain_seconds"] < obj.info["io_drain_seconds"]
+
+
+class TestCampaignBackendCell:
+    def test_chunked_delta_cell_reports_dedup_ratio(self):
+        """Acceptance: async (delta) + chunked campaign cell has dedup_ratio > 1."""
+        from repro.campaign.execute import execute_cell
+        from repro.campaign.spec import RunSpec
+
+        cell = RunSpec(
+            kind="ft",
+            method="jacobi",
+            scheme="lossy",
+            write_mode="async",
+            recovery_levels="fti",
+            store_backend="chunked",
+            num_processes=256,
+            mtti_seconds=3600.0,
+            grid_n=10,
+        )
+        result = execute_cell(cell)
+        assert result["store_backend"] == "chunked"
+        info = result["report"]["info"]
+        assert info["store_backend"] == "chunked"
+        assert info["dedup_ratio"] is None or info["dedup_ratio"] > 1.0
+        assert info["logical_bytes"] > info["unique_bytes"] > 0
+
+    def test_pfs_cell_result_unchanged_shape(self):
+        from repro.campaign.execute import execute_cell
+        from repro.campaign.spec import RunSpec
+
+        cell = RunSpec(kind="ft", num_processes=256, grid_n=10)
+        result = execute_cell(cell)
+        assert result["store_backend"] == "pfs"
+        assert "store_backend" not in result["report"]["info"]

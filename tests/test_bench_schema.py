@@ -46,10 +46,35 @@ def _valid_codec() -> dict:
     return {"workloads": {"solver": {"legacy": dict(row), "codec": dict(row)}}}
 
 
+def _valid_store() -> dict:
+    def backend(name, durability, modeled, dedup=1.0):
+        return {
+            "backend": name,
+            "durability": durability,
+            "write_mb_per_s": 500.0,
+            "read_mb_per_s": 900.0,
+            "modeled_write_seconds": modeled,
+            "modeled_read_seconds": modeled,
+            "modeled_drain_seconds": modeled * 1.2,
+            "dedup_ratio": dedup,
+        }
+    return {
+        "payload_bytes": 1 << 20,
+        "num_checkpoints": 8,
+        "backends": {
+            "memory": backend("memory", "process", 0.2),
+            "disk": backend("disk", "node", 2.0),
+            "object": backend("object", "system", 28.6),
+            "chunked": backend("object", "system", 28.5, dedup=4.6),
+        },
+    }
+
+
 _VALID = {
     "BENCH_runner.json": _valid_runner,
     "BENCH_pipeline.json": _valid_pipeline,
     "BENCH_codec.json": _valid_codec,
+    "BENCH_store.json": _valid_store,
 }
 
 
@@ -95,6 +120,27 @@ def test_invalid_json_and_unknown_name(tmp_path):
     unknown = tmp_path / "BENCH_mystery.json"
     unknown.write_text("{}")
     assert any("no schema" in e for e in checker.check_file(unknown))
+
+
+def test_store_requires_distinct_pricing_and_dedup(tmp_path):
+    data = _valid_store()
+    # Two backends priced identically: the artifact has lost its point.
+    data["backends"]["disk"]["modeled_write_seconds"] = (
+        data["backends"]["memory"]["modeled_write_seconds"]
+    )
+    path = tmp_path / "BENCH_store.json"
+    path.write_text(json.dumps(data))
+    assert any("distinct" in e for e in checker.check_file(path))
+
+    data = _valid_store()
+    data["backends"]["chunked"]["dedup_ratio"] = 1.0
+    path.write_text(json.dumps(data))
+    assert any("dedup_ratio" in e for e in checker.check_file(path))
+
+    data = _valid_store()
+    del data["backends"]["chunked"]
+    path.write_text(json.dumps(data))
+    assert any("chunked" in e for e in checker.check_file(path))
 
 
 def test_main_exit_codes(tmp_path, capsys):
