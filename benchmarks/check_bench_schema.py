@@ -67,6 +67,9 @@ def check_runner(data: dict) -> List[str]:
             continue
         _positive(row, "iterations_per_second", errors, f"scenario {name!r}")
         _positive(row, "total_iterations", errors, f"scenario {name!r}")
+        # The event-calendar engine reports how many sequence numbers its
+        # calendars claimed; a refactor that stops counting would zero this.
+        _positive(row, "events_per_second", errors, f"scenario {name!r}")
         if row.get("converged") is not True:
             errors.append(f"scenario {name!r}: run did not converge")
     modes = {name.endswith("-async") for name in scenarios}

@@ -24,11 +24,13 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.campaign.cache import ResultCache
+from repro.campaign.execute import PROFILE_ENV
 from repro.campaign.executor import CellOutcome, run_campaign
 from repro.campaign.report import CampaignReport
 from repro.campaign.spec import CampaignSpec, RunSpec
@@ -200,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated spec fields to aggregate over",
     )
     parser.add_argument(
+        "--profile",
+        metavar="DIR",
+        help="profile each executed cell with cProfile and dump one pstats "
+        "file per cell into DIR (sets REPRO_PROFILE; cache hits execute "
+        "nothing, so combine with --no-cache to profile every cell)",
+    )
+    parser.add_argument(
         "--quiet", "-q", action="store_true", help="suppress per-cell progress lines"
     )
     parser.add_argument(
@@ -231,8 +240,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     n_workers = None if args.workers == 0 else args.workers
     progress = None if args.quiet else _progress_printer(sys.stderr)
-
-    result = run_campaign(spec, n_workers=n_workers, cache=cache, progress=progress)
+    # Worker processes inherit the environment, so the env hook covers both
+    # the serial path and forked pool workers; restored after the run so an
+    # in-process caller's environment is left untouched.
+    saved_profile = os.environ.get(PROFILE_ENV)
+    if args.profile:
+        os.environ[PROFILE_ENV] = args.profile
+    try:
+        result = run_campaign(spec, n_workers=n_workers, cache=cache, progress=progress)
+    finally:
+        if args.profile:
+            if saved_profile is None:
+                os.environ.pop(PROFILE_ENV, None)
+            else:
+                os.environ[PROFILE_ENV] = saved_profile
     report = CampaignReport(result)
     print(report.table(by=by))
     print(
@@ -242,4 +263,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.json:
         Path(args.json).write_text(json.dumps(report.to_dict(by=by), indent=2, sort_keys=True))
         print(f"report written to {args.json}")
+    if args.profile:
+        profiles = sorted(Path(args.profile).glob("*.pstats"))
+        print(f"{len(profiles)} cell profile(s) in {args.profile}")
     return 0

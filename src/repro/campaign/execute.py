@@ -17,15 +17,27 @@ once per worker.
 Imports of the experiment-harness modules are deliberately lazy (inside the
 handlers): the experiment modules themselves import :mod:`repro.campaign`, and
 the lazy imports keep the package import graph acyclic in both directions.
+
+Setting the :data:`PROFILE_ENV` environment variable (``REPRO_PROFILE``) to a
+directory wraps every executed cell in :mod:`cProfile` and dumps one pstats
+file per cell there — the ``--profile`` flag of ``python -m repro.campaign``
+sets it for you.  Cache hits never execute a handler, so they leave no
+profile; profile with ``--no-cache`` to capture every cell.
 """
 
 from __future__ import annotations
 
+import cProfile
+import os
 from functools import lru_cache
+from pathlib import Path
 from types import SimpleNamespace
 from typing import Dict, Optional, Tuple
 
-__all__ = ["execute_cell"]
+__all__ = ["execute_cell", "PROFILE_ENV"]
+
+#: Environment variable naming the directory cell profiles are dumped into.
+PROFILE_ENV = "REPRO_PROFILE"
 
 
 def _build_problem_and_solver(cell) -> Tuple[object, object]:
@@ -400,13 +412,42 @@ _HANDLERS = {
 }
 
 
+def _dump_profile(profiler: cProfile.Profile, cell) -> Path:
+    """Write one cell's profile as ``<kind>-<method>-<scheme>-<hash>.pstats``.
+
+    The cache-key prefix makes names collision-free across a grid (two cells
+    differing only in, say, the seed still get distinct files); the readable
+    prefix makes ``pstats.Stats`` sessions navigable without a lookup table.
+    """
+    root = Path(os.environ[PROFILE_ENV])
+    root.mkdir(parents=True, exist_ok=True)
+    parts = [cell.kind, cell.method or "none", cell.scheme or "none"]
+    path = root / f"{'-'.join(parts)}-{cell.cache_key()[:12]}.pstats"
+    profiler.dump_stats(path)
+    return path
+
+
 def execute_cell(cell) -> Dict[str, object]:
-    """Execute one campaign cell and return its JSON-safe result dictionary."""
+    """Execute one campaign cell and return its JSON-safe result dictionary.
+
+    When :data:`PROFILE_ENV` names a directory, the handler runs under
+    :mod:`cProfile` and its stats are dumped there (one pstats artifact per
+    executed cell) — the result dictionary is unaffected.
+    """
     try:
         handler = _HANDLERS[cell.kind]
     except KeyError:
         raise ValueError(f"unknown cell kind {cell.kind!r}; known: {sorted(_HANDLERS)}")
-    result = handler(cell)
+    if os.environ.get(PROFILE_ENV):
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = handler(cell)
+        finally:
+            profiler.disable()
+            _dump_profile(profiler, cell)
+    else:
+        result = handler(cell)
     if not isinstance(result, dict):  # pragma: no cover - handler contract
         raise TypeError(f"handler for {cell.kind!r} returned {type(result)!r}")
     return result

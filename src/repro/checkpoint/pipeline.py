@@ -401,17 +401,21 @@ class CheckpointPipeline:
                 compressor = self._compressor_for(
                     var.name, residual_norm=residual_norm, b_norm=b_norm
                 )
-                blob, _ = compressor.compress_with_record(value)
+                if self.incremental and not self.scheme.stores_exactly(var.name):
+                    # What a restorer of this payload will hold: the
+                    # compressor's reconstruction, derived from the in-memory
+                    # codes when the compressor supports it (identical bytes
+                    # to a decompress of the blob, without the decode pass).
+                    blob, _, recon = compressor.compress_with_reconstruction(value)
+                else:
+                    blob, _ = compressor.compress_with_record(value)
+                    recon = None
                 if self.incremental:
-                    # What a restorer of this payload will hold: the raw value
-                    # for exactly-stored variables, the compressor's
-                    # reconstruction for the lossy iterate.  The exact path
-                    # must copy — ``value`` may alias a solver buffer that
-                    # keeps mutating, and a delta base has to stay frozen.
-                    if self.scheme.stores_exactly(var.name):
+                    # The exact path must copy — ``value`` may alias a solver
+                    # buffer that keeps mutating, and a delta base has to
+                    # stay frozen.
+                    if recon is None:
                         recon = np.array(value, dtype=np.float64, copy=True)
-                    else:
-                        recon = compressor.decompress(blob)
                     reconstructions[var.name] = recon
                     delta = self._try_delta(var.name, recon, base_id, blob)
                     if delta is not None:

@@ -248,6 +248,16 @@ class FailureInjector:
         self._rng = default_rng(seed)
         self._next_time: Optional[float] = None
         self.events: List[FailureEvent] = []
+        #: Latent failures (arrival already billed past) strike at the start
+        #: of the window that finds them instead of at the stale arrival
+        #: time.  The engine enables this on the two-channel (async)
+        #: timeline; the blocking timeline keeps the stale arrival untouched
+        #: (pinned byte-identical to the pre-refactor runner).
+        self.latent_clamp: bool = False
+        #: The calendar entry carrying the pending arrival (set by
+        #: :meth:`reschedule`; cancelled and re-posted when the arrival
+        #: re-arms).
+        self._scheduled = None
         if self.model is not None:
             self._next_time = float(
                 self.model.next_gap(self._rng, failure_index=0, last_time=0.0)
@@ -294,6 +304,47 @@ class FailureInjector:
             )
         )
         return event
+
+    # -- calendar interface -------------------------------------------------
+    def peek(self) -> float:
+        """Arrival time of the pending failure (``inf`` when disabled).
+
+        Unlike :meth:`consume`, peeking never touches the RNG stream — the
+        arrival is drawn when the previous one is consumed, so posting it to
+        a calendar once is equivalent to re-checking ``failure_in`` per
+        phase.
+        """
+        return float("inf") if self._next_time is None else self._next_time
+
+    def strike_time(self, window_start: float) -> float:
+        """Clock time at which the pending arrival actually strikes.
+
+        A *latent* arrival — one that re-armed inside a phase whose full
+        cost was already billed to the clock — lies in the past.  With
+        :attr:`latent_clamp` it strikes at the start of the window that
+        finds it, so the re-armed process keeps pace with the billed clock;
+        without it the stale arrival time is kept as-is.
+        """
+        time = self.peek()
+        if self.latent_clamp and window_start > time:
+            return float(window_start)
+        return time
+
+    def reschedule(self, calendar) -> None:
+        """Post the pending arrival to ``calendar`` as a failure-strike event.
+
+        Cancels the previously posted entry (if any), so the calendar holds
+        at most one live strike per injector.  Call after every
+        :meth:`consume` — and once up front — to keep the calendar current.
+        No-op when failure injection is disabled.
+        """
+        if self._scheduled is not None:
+            self._scheduled.cancel()
+            self._scheduled = None
+        if self._next_time is not None:
+            self._scheduled = calendar.post(
+                self._next_time, "failure-strike", payload=self
+            )
 
     @property
     def count(self) -> int:

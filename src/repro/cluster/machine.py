@@ -35,6 +35,12 @@ __all__ = [
     "PAPER_ITERATION_SECONDS",
     "PAPER_BASELINE_SECONDS",
     "PAPER_BASELINE_ITERATIONS",
+    "price_compression",
+    "price_decompression",
+    "price_checkpoint",
+    "price_capture",
+    "price_drain",
+    "price_recovery",
 ]
 
 _GIB = 1024.0**3
@@ -127,6 +133,124 @@ class MachineSpec:
 BEBOP_LIKE = MachineSpec()
 
 
+# ----------------------------------------------------------------------
+# pure pricing functions
+# ----------------------------------------------------------------------
+# Every cost is a pure function of (spec, num_processes, byte counts): no
+# state is read at pricing time, so the engine can price a scheduled event
+# once, at event-creation time, and trust the number when the event fires.
+# :class:`ClusterModel`'s methods below are thin delegating wrappers.
+
+
+def price_compression(
+    spec: MachineSpec, num_processes: int, uncompressed_bytes: float
+) -> float:
+    """Parallel lossy-compression seconds for ``uncompressed_bytes``."""
+    uncompressed_bytes = check_nonnegative(uncompressed_bytes, "uncompressed_bytes")
+    return uncompressed_bytes / (spec.compress_bandwidth_per_core * num_processes)
+
+
+def price_decompression(
+    spec: MachineSpec, num_processes: int, uncompressed_bytes: float
+) -> float:
+    """Parallel decompression seconds for ``uncompressed_bytes``."""
+    uncompressed_bytes = check_nonnegative(uncompressed_bytes, "uncompressed_bytes")
+    return uncompressed_bytes / (spec.decompress_bandwidth_per_core * num_processes)
+
+
+def price_checkpoint(
+    spec: MachineSpec,
+    num_processes: int,
+    uncompressed_bytes: float,
+    compressed_bytes: float,
+    *,
+    compressed: bool = True,
+    write_cost_multiplier: float = 1.0,
+    profile: Optional[StoreProfile] = None,
+) -> float:
+    """Seconds of one *blocking* checkpoint write (compression + storage).
+
+    ``write_cost_multiplier`` scales the storage-write portion only
+    (FTI-style cheap levels); ``profile`` prices the write through a
+    :class:`~repro.checkpoint.store.StoreProfile` instead of the machine's
+    PFS model (``None`` keeps the legacy PFS path bit-exact).
+    """
+    if profile is not None:
+        write = profile.write_seconds(compressed_bytes, num_processes)
+    else:
+        write = spec.pfs.write_seconds(compressed_bytes, num_processes=num_processes)
+    if write_cost_multiplier != 1.0:
+        write *= check_positive(write_cost_multiplier, "write_cost_multiplier")
+    if not compressed:
+        return write
+    return price_compression(spec, num_processes, uncompressed_bytes) + write
+
+
+def price_capture(
+    spec: MachineSpec,
+    num_processes: int,
+    uncompressed_bytes: float,
+    compressed_bytes: float,
+    *,
+    compressed: bool = True,
+) -> float:
+    """Inline (compute-channel) seconds of staging one *async* checkpoint.
+
+    Compression plus the node-local staging copy; the storage write drains
+    in the background (:func:`price_drain`).
+    """
+    compressed_bytes = check_nonnegative(compressed_bytes, "compressed_bytes")
+    staging = compressed_bytes / (spec.staging_bandwidth_per_core * num_processes)
+    if not compressed:
+        return staging
+    return price_compression(spec, num_processes, uncompressed_bytes) + staging
+
+
+def price_drain(
+    spec: MachineSpec,
+    num_processes: int,
+    compressed_bytes: float,
+    *,
+    write_cost_multiplier: float = 1.0,
+    profile: Optional[StoreProfile] = None,
+) -> float:
+    """I/O-channel seconds to drain one staged checkpoint to storage."""
+    if profile is not None:
+        drain = profile.drain_seconds(compressed_bytes, num_processes)
+    else:
+        drain = spec.pfs.drain_seconds(compressed_bytes, num_processes=num_processes)
+    if write_cost_multiplier != 1.0:
+        drain *= check_positive(write_cost_multiplier, "write_cost_multiplier")
+    return drain
+
+
+def price_recovery(
+    spec: MachineSpec,
+    num_processes: int,
+    uncompressed_bytes: float,
+    compressed_bytes: float,
+    *,
+    static_bytes: float = 0.0,
+    compressed: bool = True,
+    read_cost_multiplier: float = 1.0,
+    profile: Optional[StoreProfile] = None,
+) -> float:
+    """Seconds of one recovery (read + decompress + rebuild statics)."""
+    if profile is not None:
+        read = profile.read_seconds(compressed_bytes, num_processes)
+    else:
+        read = spec.pfs.read_seconds(compressed_bytes, num_processes=num_processes)
+    if read_cost_multiplier != 1.0:
+        read *= check_positive(read_cost_multiplier, "read_cost_multiplier")
+    rebuild = 0.0
+    if static_bytes:
+        rate = spec.static_rebuild_bandwidth_per_core * num_processes
+        rebuild = check_nonnegative(static_bytes, "static_bytes") / rate
+    if not compressed:
+        return read + rebuild
+    return read + price_decompression(spec, num_processes, uncompressed_bytes) + rebuild
+
+
 @dataclass
 class ClusterModel:
     """Time model for a job running on ``num_processes`` processes.
@@ -197,15 +321,11 @@ class ClusterModel:
     # -- compression time -------------------------------------------------------
     def compression_seconds(self, uncompressed_bytes: float) -> float:
         """Modeled parallel lossy-compression time for ``uncompressed_bytes``."""
-        uncompressed_bytes = check_nonnegative(uncompressed_bytes, "uncompressed_bytes")
-        rate = self.spec.compress_bandwidth_per_core * self.num_processes
-        return uncompressed_bytes / rate
+        return price_compression(self.spec, self.num_processes, uncompressed_bytes)
 
     def decompression_seconds(self, uncompressed_bytes: float) -> float:
         """Modeled parallel decompression time for ``uncompressed_bytes``."""
-        uncompressed_bytes = check_nonnegative(uncompressed_bytes, "uncompressed_bytes")
-        rate = self.spec.decompress_bandwidth_per_core * self.num_processes
-        return uncompressed_bytes / rate
+        return price_decompression(self.spec, self.num_processes, uncompressed_bytes)
 
     # -- checkpoint / recovery time --------------------------------------------
     def checkpoint_seconds(
@@ -230,17 +350,15 @@ class ClusterModel:
         PFS model (``None``, the default, keeps the legacy PFS path
         bit-exact).
         """
-        if profile is not None:
-            write = profile.write_seconds(compressed_bytes, self.num_processes)
-        else:
-            write = self.spec.pfs.write_seconds(
-                compressed_bytes, num_processes=self.num_processes
-            )
-        if write_cost_multiplier != 1.0:
-            write *= check_positive(write_cost_multiplier, "write_cost_multiplier")
-        if not compressed:
-            return write
-        return self.compression_seconds(uncompressed_bytes) + write
+        return price_checkpoint(
+            self.spec,
+            self.num_processes,
+            uncompressed_bytes,
+            compressed_bytes,
+            compressed=compressed,
+            write_cost_multiplier=write_cost_multiplier,
+            profile=profile,
+        )
 
     # -- asynchronous (overlapped) checkpointing --------------------------------
     @property
@@ -262,12 +380,13 @@ class ClusterModel:
         that is drained in the background (:meth:`drain_seconds`) while
         compute continues.
         """
-        compressed_bytes = check_nonnegative(compressed_bytes, "compressed_bytes")
-        staging_rate = self.spec.staging_bandwidth_per_core * self.num_processes
-        staging = compressed_bytes / staging_rate
-        if not compressed:
-            return staging
-        return self.compression_seconds(uncompressed_bytes) + staging
+        return price_capture(
+            self.spec,
+            self.num_processes,
+            uncompressed_bytes,
+            compressed_bytes,
+            compressed=compressed,
+        )
 
     def drain_seconds(
         self,
@@ -287,15 +406,13 @@ class ClusterModel:
         :class:`~repro.checkpoint.store.StoreProfile` (its own contended
         async fraction included); ``None`` keeps the legacy PFS path.
         """
-        if profile is not None:
-            drain = profile.drain_seconds(compressed_bytes, self.num_processes)
-        else:
-            drain = self.spec.pfs.drain_seconds(
-                compressed_bytes, num_processes=self.num_processes
-            )
-        if write_cost_multiplier != 1.0:
-            drain *= check_positive(write_cost_multiplier, "write_cost_multiplier")
-        return drain
+        return price_drain(
+            self.spec,
+            self.num_processes,
+            compressed_bytes,
+            write_cost_multiplier=write_cost_multiplier,
+            profile=profile,
+        )
 
     def recovery_seconds(
         self,
@@ -315,18 +432,13 @@ class ClusterModel:
         through a store's :class:`~repro.checkpoint.store.StoreProfile`
         instead of the machine's PFS model.
         """
-        if profile is not None:
-            read = profile.read_seconds(compressed_bytes, self.num_processes)
-        else:
-            read = self.spec.pfs.read_seconds(
-                compressed_bytes, num_processes=self.num_processes
-            )
-        if read_cost_multiplier != 1.0:
-            read *= check_positive(read_cost_multiplier, "read_cost_multiplier")
-        rebuild = 0.0
-        if static_bytes:
-            rate = self.spec.static_rebuild_bandwidth_per_core * self.num_processes
-            rebuild = check_nonnegative(static_bytes, "static_bytes") / rate
-        if not compressed:
-            return read + rebuild
-        return read + self.decompression_seconds(uncompressed_bytes) + rebuild
+        return price_recovery(
+            self.spec,
+            self.num_processes,
+            uncompressed_bytes,
+            compressed_bytes,
+            static_bytes=static_bytes,
+            compressed=compressed,
+            read_cost_multiplier=read_cost_multiplier,
+            profile=profile,
+        )

@@ -143,6 +143,20 @@ class Compressor(abc.ABC):
         self.last_record = record
         return blob, record
 
+    def compress_with_reconstruction(
+        self, data: np.ndarray
+    ) -> Tuple[CompressedBlob, CompressionRecord, np.ndarray]:
+        """Compress ``data`` and also return what decompressing it yields.
+
+        Semantically ``compress_with_record`` followed by ``decompress``;
+        lossy compressors that already hold the quantized representation in
+        memory override this to derive the reconstruction without decoding
+        the payload.  The returned array is bitwise identical to
+        ``decompress(blob)`` either way.
+        """
+        blob, record = self.compress_with_record(data)
+        return blob, record, self._decompress_array(blob)
+
     def decompress(self, blob: CompressedBlob) -> np.ndarray:
         """Reconstruct the array stored in ``blob``."""
         if blob.compressor != self.name:

@@ -181,6 +181,11 @@ def resolve_backend(backend: Optional[str] = None) -> str:
 def _bit_widths(values: np.ndarray) -> np.ndarray:
     """Vectorised ``int.bit_length`` for unsigned 64-bit values."""
     values = np.asarray(values, dtype=np.uint64)
+    if values.size <= 8:
+        # Tiny inputs (single-digit block counts) are dominated by numpy
+        # call overhead in the masked-shift scan below; ``int.bit_length``
+        # is exact and ~30x faster at this size.
+        return np.array([int(v).bit_length() for v in values], dtype=np.uint8)
     widths = np.zeros(values.shape, dtype=np.uint8)
     v = values.copy()
     for shift in (32, 16, 8, 4, 2, 1):
@@ -270,13 +275,16 @@ def _pack_bits_vector(
 
     For each distinct width ``w`` the codes are reshaped into rows of ``P``
     codes that fill exactly ``W`` 64-bit words (:func:`_lane_geometry`);
-    each of the ``P`` lane positions contributes one shift/OR over the whole
-    row set, plus one more when the code straddles a word boundary.  The
-    lanes are transposed up front so every shift/OR runs over contiguous
-    memory — at most ~2x64 vector passes total, no per-element Python, no
-    bit expansion.  Because the block size is a multiple of 64, every
-    block's bit segment is word-aligned and the little-endian word image
-    equals the LSB-first bit stream byte-for-byte.
+    all ``P`` lane positions are shifted in one broadcast pass and OR-folded
+    onto their target words with ``bitwise_or.reduceat`` (plus one
+    fancy-indexed OR for the lanes that straddle a word boundary).  The
+    lanes are transposed up front so the passes run over contiguous
+    memory — a handful of vector ops regardless of ``P``, no per-element
+    Python, no bit expansion.  OR is order-independent, so the folded word
+    image is bit-for-bit the same as accumulating lane by lane.  Because
+    the block size is a multiple of 64, every block's bit segment is
+    word-aligned and the little-endian word image equals the LSB-first bit
+    stream byte-for-byte.
     """
     total_words = int(bit_offsets[-1]) >> 6
     word_offsets = bit_offsets[:-1] >> 6
@@ -292,13 +300,20 @@ def _pack_bits_vector(
         lane_p, lane_w = _lane_geometry(w)
         # lane-major copy: cols[j] is lane j of every row, contiguous
         cols = np.ascontiguousarray(group.reshape(-1, lane_p).T)
-        out = np.zeros((lane_w, cols.shape[1]), dtype=np.uint64)
-        for j in range(lane_p):
-            bit = j * w
-            word_index, shift = bit >> 6, bit & 63
-            out[word_index] |= cols[j] << np.uint64(shift) if shift else cols[j]
-            if shift + w > 64:
-                out[word_index + 1] |= cols[j] >> np.uint64(64 - shift)
+        lane_bits = np.arange(lane_p, dtype=np.int64) * w
+        shifts = (lane_bits & 63).astype(np.uint64)
+        word_index = lane_bits >> 6
+        low = cols << shifts[:, None]
+        # Every word contains at least one lane start (w <= 64), so the
+        # first lane of each word marks a reduceat segment boundary.
+        starts = np.searchsorted(word_index, np.arange(lane_w, dtype=np.int64))
+        out = np.bitwise_or.reduceat(low, starts, axis=0)
+        straddle = np.flatnonzero((lane_bits & 63) + w > 64)
+        if straddle.size:
+            # At most one lane straddles out of each word: target words are
+            # unique, so a fancy-indexed OR lands every carry exactly once.
+            high = cols[straddle] >> (np.uint64(64) - shifts[straddle])[:, None]
+            out[word_index[straddle] + 1] |= high
         packed = np.ascontiguousarray(out.T).reshape(-1)
         if uniform:
             words = packed  # block offsets are consecutive: no scatter needed
@@ -349,14 +364,18 @@ def _unpack_bits_vector(
         lane_p, lane_w = _lane_geometry(w)
         rows = np.ascontiguousarray(group_words.reshape(-1, lane_w).T)
         mask = np.uint64(0xFFFFFFFFFFFFFFFF) if w == 64 else np.uint64((1 << w) - 1)
-        vals = np.empty((lane_p, rows.shape[1]), dtype=np.uint64)
-        for j in range(lane_p):
-            bit = j * w
-            word_index, shift = bit >> 6, bit & 63
-            v = rows[word_index] >> np.uint64(shift) if shift else rows[word_index]
-            if shift + w > 64:
-                v = v | (rows[word_index + 1] << np.uint64(64 - shift))
-            vals[j] = v & mask if w < 64 else v
+        lane_bits = np.arange(lane_p, dtype=np.int64) * w
+        shifts = (lane_bits & 63).astype(np.uint64)
+        word_index = lane_bits >> 6
+        vals = rows[word_index] >> shifts[:, None]
+        straddle = np.flatnonzero((lane_bits & 63) + w > 64)
+        if straddle.size:
+            vals[straddle] |= (
+                rows[word_index[straddle] + 1]
+                << (np.uint64(64) - shifts[straddle])[:, None]
+            )
+        if w < 64:
+            vals &= mask
         decoded = np.ascontiguousarray(vals.T).reshape(-1, block_size)
         if uniform:
             return decoded

@@ -29,12 +29,18 @@ storage of the raw bytes (still satisfying the bound trivially).
 
 from __future__ import annotations
 
+import time
 import zlib
 from typing import List
 
 import numpy as np
 
-from repro.compression.base import CompressedBlob, Compressor, register_compressor
+from repro.compression.base import (
+    CompressedBlob,
+    CompressionRecord,
+    Compressor,
+    register_compressor,
+)
 from repro.compression.codec import (
     FORMAT_VERSION,
     decode_frame,
@@ -136,6 +142,32 @@ class SZCompressor(Compressor):
 
     # ------------------------------------------------------------------
     def _compress_array(self, data: np.ndarray) -> CompressedBlob:
+        return self._compress_impl(data, want_recon=False)[0]
+
+    def compress_with_reconstruction(self, data):
+        """Compress and derive the reconstruction from the in-memory codes.
+
+        The decode path dequantizes exactly the integer codes the encode
+        path produced (the block codec and the differencing predictor are
+        both lossless round trips), so dequantizing the codes still in
+        memory yields the same floats as ``decompress(blob)`` — without
+        paying the DEFLATE + bit-unpack decode.
+        """
+        arr = np.ascontiguousarray(data)
+        if arr.size == 0:
+            raise ValueError("cannot compress an empty array")
+        start = time.perf_counter()
+        blob, recon = self._compress_impl(arr, want_recon=True)
+        elapsed = time.perf_counter() - start
+        record = CompressionRecord("compress", arr.nbytes, blob.nbytes, elapsed)
+        self.records.append(record)
+        self.last_record = record
+        recon = recon.astype(np.dtype(blob.dtype), copy=False).reshape(blob.shape)
+        return blob, record, recon
+
+    def _compress_impl(
+        self, data: np.ndarray, *, want_recon: bool
+    ) -> "tuple[CompressedBlob, np.ndarray | None]":
         original_dtype = data.dtype
         flat = np.ascontiguousarray(data, dtype=np.float64).reshape(-1)
         meta = {
@@ -145,17 +177,22 @@ class SZCompressor(Compressor):
         }
 
         if self.error_bound.mode is ErrorBoundMode.POINTWISE_RELATIVE:
-            payload, scheme = self._compress_pointwise_relative(flat)
+            payload, scheme, recon = self._compress_pointwise_relative(
+                flat, want_recon=want_recon
+            )
         else:
-            payload, scheme = self._compress_absolute_like(flat)
+            payload, scheme, recon = self._compress_absolute_like(
+                flat, want_recon=want_recon
+            )
         meta["scheme"] = scheme
-        return CompressedBlob(
+        blob = CompressedBlob(
             payload=payload,
             shape=tuple(data.shape),
             dtype=np.dtype(original_dtype).str,
             compressor=self.name,
             meta=meta,
         )
+        return blob, recon
 
     def _decompress_array(self, blob: CompressedBlob) -> np.ndarray:
         scheme = blob.meta.get("scheme", "abs")
@@ -175,30 +212,39 @@ class SZCompressor(Compressor):
         return flat.astype(np.dtype(blob.dtype), copy=False).reshape(blob.shape)
 
     # -- absolute / value-range relative -------------------------------
-    def _compress_absolute_like(self, flat: np.ndarray) -> "tuple[bytes, str]":
+    def _compress_absolute_like(
+        self, flat: np.ndarray, *, want_recon: bool = False
+    ) -> "tuple[bytes, str, np.ndarray | None]":
         bound = self.error_bound.absolute_for(flat)
         if bound <= 0.0:  # resolved bound underflowed (denormal-scale data)
-            return self._raw_fallback(flat), "raw"
+            return self._raw_fallback(flat), "raw", flat.copy() if want_recon else None
         try:
             quantized = quantize_absolute(flat, bound)
         except QuantizationOverflow:
-            return self._raw_fallback(flat), "raw"
+            return self._raw_fallback(flat), "raw", flat.copy() if want_recon else None
         payload = encode_frame(
             self._quantized_sections(quantized), level=self.zlib_level
         )
-        return payload, "abs"
+        recon = dequantize_absolute(quantized) if want_recon else None
+        return payload, "abs", recon
 
     # -- pointwise relative ---------------------------------------------
-    def _compress_pointwise_relative(self, flat: np.ndarray) -> "tuple[bytes, str]":
+    def _compress_pointwise_relative(
+        self, flat: np.ndarray, *, want_recon: bool = False
+    ) -> "tuple[bytes, str, np.ndarray | None]":
         transform = PointwiseRelativeTransform.forward(flat, self.error_bound.value)
         try:
             quantized = quantize_absolute(transform.log_values, transform.log_bound)
         except QuantizationOverflow:
-            return self._raw_fallback(flat), "raw"
+            return self._raw_fallback(flat), "raw", flat.copy() if want_recon else None
         sections = pw_rel_sections(
             transform, self._quantized_sections(quantized), flat.size
         )
-        return encode_frame(sections, level=self.zlib_level), "pw_rel"
+        payload = encode_frame(sections, level=self.zlib_level)
+        recon = (
+            transform.backward(dequantize_absolute(quantized)) if want_recon else None
+        )
+        return payload, "pw_rel", recon
 
     def _decode_pointwise_relative_sections(self, sections: List[bytes]) -> np.ndarray:
         count_section, header, order_section, packed, neg_section, zero_section = sections

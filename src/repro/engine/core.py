@@ -30,42 +30,65 @@ checks:
 
 The ``modeled`` Poisson/PFS :class:`~repro.engine.scenario.Scenario`
 reproduces the original runner's reports byte-for-byte (pinned by the
-engine-equivalence test suite).
+engine-equivalence test suite and the golden-report fixtures).
 
-Semantics of one failure-injected run
--------------------------------------
-Failures can strike during compute, during a checkpoint write, or during a
-recovery.  Under *exact* schemes (traditional/lossless) a restore is
-bit-for-bit, so the numerical trajectory is unaffected and a failure is a
-pure time cost: recovery read + re-execution ("rollback") of the compute
-done since the last complete checkpoint; a checkpoint that was already due
-when the failure struck is retaken immediately after the rollback (it is
-not pushed out a full interval).  Under the *lossy* scheme the solve is
-interrupted, the decompressed iterate becomes the new initial guess, and the
-extra iterations N' are measured, not assumed.
+Event calendar
+--------------
+Everything that can *interrupt or gate* the compute loop is a typed
+:class:`~repro.engine.calendar.ScheduledEvent` on an
+:class:`~repro.engine.calendar.EventCalendar`:
+
+* ``failure-strike`` — the injector's pending arrival.  The
+  :class:`~repro.cluster.failures.FailureInjector` owns its single live
+  posting (:meth:`~repro.cluster.failures.FailureInjector.reschedule`): it
+  is posted once up front and re-posted after every consume, so the hot
+  loop's only per-iteration failure work is one float comparison against
+  :attr:`~repro.engine.calendar.EventCalendar.next_time`.
+* ``checkpoint-due`` — the checkpoint cadence.  Every due-time change
+  cancels the previous posting and posts a new one (lazy cancellation).
+* ``compute-phase-end`` — posted at every solver-segment boundary
+  (converged, interrupted, budget-capped) and retired inline by the run
+  loop, which is its handler; the posting claims the boundary's slot in the
+  global event sequence.
+* ``drain-complete`` / ``staging-slot-freed`` — see below.
+
+Simultaneous events resolve by ``(time, seq)``: posting order breaks ties,
+identically on every same-seed run.  A strike that lands *inside* an
+iteration window preempts a cadence event with an earlier due time — the
+cadence action only runs at the iteration boundary, by which point the
+machine is already down (``_dispatch_boundary``).
 
 Two-channel timeline (``write_mode="async"``)
 ---------------------------------------------
 The paper — and the default ``blocking`` mode — charges the whole checkpoint
 write inline on one serialized clock.  Under the scenario's asynchronous
-write mode the timeline splits into a **compute channel** (the virtual
-clock: iterations, inline captures, recoveries, rollbacks) and an **I/O
-channel** carrying checkpoint *drains*:
+write mode the timeline splits into two
+:class:`~repro.engine.calendar.Channel` objects, each with its own calendar:
 
-* a checkpoint stalls the solver only for the inline capture (compression +
-  staging the payload node-locally); the storage write becomes a drain
-  interval on the I/O channel that overlaps subsequent compute,
-* drains are serialized on the channel (one PFS pipe) and priced at the
-  contended async bandwidth
-  (:meth:`~repro.cluster.machine.ClusterModel.drain_seconds`); while one is
-  in flight, compute iterations pay a small interference surcharge,
-* a checkpoint becomes *recoverable only when its drain completes* — a
-  failure mid-drain discards the dirty write and recovery falls back to the
-  previous completed checkpoint (and under ``fti`` scenarios only completed
-  checkpoints enter the multilevel survival cycle),
-* payloads ship incremental deltas against the last committed checkpoint
-  (:mod:`repro.checkpoint.delta`) with periodic full keyframes, so a drain
-  moves the bytes a real incremental writer would move.
+* the **compute channel** (:class:`~repro.engine.calendar.ComputeChannel`)
+  — iterations, inline captures, recoveries, rollbacks.  It also anchors
+  the incremental rollback accounting: the compute-seconds total at the
+  newest committed checkpoint, so the rollback span is an O(1) difference.
+* the **I/O channel** (:class:`~repro.engine.calendar.IOChannel`) — one
+  ``drain-complete`` event per staged checkpoint, serialized on the
+  channel's ``busy_until`` clock and priced at the contended async
+  bandwidth (:meth:`~repro.cluster.machine.ClusterModel.drain_seconds`);
+  while a drain is in flight, compute iterations pay a small interference
+  surcharge.
+
+I/O-channel completions are only *observable* from the compute channel at
+synchronization points — checkpoint entry, an I/O-channel failure, and the
+end of the run — which is why the drains live on their own calendar: a
+``drain-complete`` whose time has passed is not delivered until the compute
+channel synchronizes (both calendars share one
+:class:`~repro.engine.calendar.SequenceCounter`, so the global order is
+still total).  A checkpoint becomes *recoverable only when its drain
+commits* — a failure mid-drain discards the dirty write and recovery falls
+back to the previous completed checkpoint.  When every staging slot holds
+an in-flight drain the capture defers (backpressure), and the commit that
+frees a slot posts ``staging-slot-freed`` to end the deferral episode.
+Payloads ship incremental deltas against the last committed checkpoint
+(:mod:`repro.checkpoint.delta`) with periodic full keyframes.
 
 Blocking mode takes none of these paths and stays byte-identical to the
 single-clock engine (pinned by the equivalence suite).
@@ -73,6 +96,7 @@ single-clock engine (pinned by the equivalence suite).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -82,6 +106,13 @@ from repro.checkpoint.multilevel import MultilevelCheckpointStore, MultilevelPol
 from repro.checkpoint.pipeline import CheckpointPipeline, PipelineSnapshot
 from repro.checkpoint.store import CheckpointStore, StoreProfile
 from repro.cluster.machine import ClusterModel
+from repro.engine.calendar import (
+    ComputeChannel,
+    EventCalendar,
+    EventKind,
+    IOChannel,
+    SequenceCounter,
+)
 from repro.engine.events import (
     CheckpointDeferredEvent,
     CheckpointDiscardedEvent,
@@ -156,10 +187,11 @@ class CheckpointRecord:
 class PendingDrain:
     """One staged checkpoint still flushing on the I/O channel.
 
-    The record is fully priced and carries its payload, but it is *not*
-    recoverable until the drain completes: a failure before ``end`` discards
-    it (dirty write) and recovery falls back to the previous completed
-    checkpoint.
+    Carried as the payload of the checkpoint's ``drain-complete`` event on
+    the I/O calendar.  The record is fully priced and holds its payload, but
+    it is *not* recoverable until the drain commits: a failure before
+    ``end`` discards it (dirty write) and recovery falls back to the
+    previous completed checkpoint.
     """
 
     record: CheckpointRecord
@@ -172,7 +204,14 @@ class PendingDrain:
 
 @dataclass
 class EngineState:
-    """Explicit mutable state of one run (replaces the old dict closure)."""
+    """Explicit mutable state of one run (replaces the old dict closure).
+
+    Channel clocks live on the engine's
+    :class:`~repro.engine.calendar.ComputeChannel` /
+    :class:`~repro.engine.calendar.IOChannel` objects, and in-flight drains
+    on the I/O calendar; this dataclass keeps the run's *outcome* state —
+    checkpoints, counters, traces.
+    """
 
     next_checkpoint_due: float
     last_checkpoint: Optional[CheckpointRecord] = None
@@ -180,11 +219,6 @@ class EngineState:
     #: where a failure may destroy recent cheap-level checkpoints and the
     #: recovery falls back to an older survivor.
     records: Dict[int, CheckpointRecord] = field(default_factory=dict)
-    #: Compute-category seconds of solver progress since the last complete
-    #: checkpoint — this (not wall-clock time) is what has to be re-executed
-    #: after a failure under an exact scheme.
-    compute_since_checkpoint: float = 0.0
-    compute_seconds_total: float = 0.0
     num_checkpoints: int = 0
     num_inline_failures: int = 0
     compression_ratios: List[float] = field(default_factory=list)
@@ -195,10 +229,6 @@ class EngineState:
     gave_up: bool = False
     give_up_reason: Optional[str] = None
     # -- asynchronous (two-channel) write mode only ------------------------
-    #: Staged checkpoints still flushing on the I/O channel, in drain order.
-    pending_drains: List[PendingDrain] = field(default_factory=list)
-    #: I/O-channel time at which the last enqueued drain completes.
-    io_busy_until: float = 0.0
     #: Id the next async checkpoint gets (ids are assigned at capture, but
     #: ``num_checkpoints`` only counts drains that completed).
     next_checkpoint_id: int = 0
@@ -258,6 +288,10 @@ class FaultToleranceEngine:
     record_events:
         Keep an :class:`~repro.engine.events.EventLog` of the run (off by
         default — one event per iteration).
+    max_events:
+        Bound the event log to the newest ``max_events`` entries (ring
+        buffer); ``None`` keeps every event.  Only meaningful with
+        ``record_events=True``.
     """
 
     def __init__(
@@ -281,6 +315,7 @@ class FaultToleranceEngine:
         scenario: Optional[Scenario] = None,
         multilevel_policy: Optional[MultilevelPolicy] = None,
         record_events: bool = False,
+        max_events: Optional[int] = None,
     ) -> None:
         from repro.core.model import young_interval
         from repro.core.scale import ExperimentScale
@@ -329,6 +364,7 @@ class FaultToleranceEngine:
         self.scenario = scenario or DEFAULT_SCENARIO
         self.multilevel_policy = multilevel_policy
         self.record_events = bool(record_events)
+        self.max_events = max_events
         self.events: Optional[EventLog] = None
         # Per-run working attributes (set up in run()).
         self._clock: VirtualClock = VirtualClock()
@@ -344,6 +380,19 @@ class FaultToleranceEngine:
             next_checkpoint_due=self.checkpoint_interval_seconds
         )
         self._vectors: int = 0
+        # Calendar machinery: one global sequence, one calendar per channel.
+        self._sequence = SequenceCounter()
+        self._calendar = EventCalendar(self._sequence)
+        self._io_calendar = EventCalendar(self._sequence)
+        self._compute = ComputeChannel("compute")
+        self._io = IOChannel("io")
+        self._due_event = None  # live CHECKPOINT_DUE posting (or None)
+
+    @property
+    def events_processed(self) -> int:
+        """Calendar sequence numbers claimed so far — every scheduled and
+        recorded event of the run (the benchmark's throughput numerator)."""
+        return self._sequence.value
 
     # ------------------------------------------------------------------
     def run(self) -> FTRunReport:
@@ -352,7 +401,19 @@ class FaultToleranceEngine:
             self.baseline = run_failure_free(self.solver, self.b, x0=self.x0)
 
         clock = self._clock = VirtualClock()
+        self._sequence = SequenceCounter()
+        calendar = self._calendar = EventCalendar(self._sequence)
+        self._io_calendar = EventCalendar(self._sequence)
+        self._compute = ComputeChannel("compute")
+        self._io = IOChannel("io")
+        self._due_event = None
         self._injector = self.scenario.build_injector(self.mtti_seconds, self.seed)
+        self._async = self.scenario.asynchronous
+        # Latent arrivals strike at the window that finds them on the
+        # two-channel timeline only; the blocking timeline keeps the stale
+        # arrival untouched (pinned byte-identical to the legacy runner).
+        self._injector.latent_clamp = self._async
+        self._injector.reschedule(calendar)
         if self.scenario.default_backend:
             self._backend = None
         elif self.scenario.store_backend == "disk":
@@ -369,7 +430,6 @@ class FaultToleranceEngine:
         self._store = self.scenario.build_multilevel_store(
             self.seed, policy=self.multilevel_policy, backend=self._backend
         )
-        self._async = self.scenario.asynchronous
         self._staging_slots = int(self.cluster.spec.async_staging_slots)
         self._pipeline = CheckpointPipeline(
             self.scheme,
@@ -382,10 +442,13 @@ class FaultToleranceEngine:
             incremental=self._async,
         )
         self._vectors = self.scheme.dynamic_vector_count(self.solver)
-        self.events = EventLog() if self.record_events else None
+        self.events = (
+            EventLog(max_events=self.max_events) if self.record_events else None
+        )
         state = self._state = EngineState(
             next_checkpoint_due=self.checkpoint_interval_seconds
         )
+        self._set_due(self.checkpoint_interval_seconds)
 
         x_current = self.x0.copy()
         resume: Optional[ResumeState] = None
@@ -402,6 +465,14 @@ class FaultToleranceEngine:
             except _FailureSignal:
                 interrupted = True
                 result = None
+            # The segment boundary claims its slot in the global sequence;
+            # the code below *is* its handler, so the posting retires
+            # immediately (lazy cancellation).
+            calendar.post(
+                clock.now,
+                EventKind.COMPUTE_PHASE_END,
+                payload="interrupted" if interrupted else "solved",
+            ).cancel()
 
             if not interrupted and result is not None:
                 total_iterations = iteration_offset + result.iterations
@@ -500,50 +571,76 @@ class FaultToleranceEngine:
             # The run is over (converged or gave up): whatever is still
             # staged finishes flushing in the background — settle so the
             # checkpoint counts reflect every write that completed.
-            self._settle_drains(self._state.io_busy_until)
+            self._settle_drains(self._io.busy_until)
         return self._build_report(converged, total_iterations, restarts_from_scratch)
 
     # -- event handlers ------------------------------------------------------
     def _on_compute(self, it_state: IterationState) -> None:
         """Compute event: one solver iteration on the virtual timeline.
 
-        May synthesize a failure event (inline recovery for exact schemes, a
-        solve interrupt for the lossy scheme) and/or a checkpoint event.
+        The hot path does exactly three things — advance the two clocks,
+        append the residual trace, and compare the calendar's cached
+        ``next_time`` against the clock.  Failure strikes and checkpoint
+        cadence only cost anything when an event is actually due
+        (:meth:`_dispatch_boundary`).
         """
         clock = self._clock
-        state = self._state
+        seconds = self.iteration_seconds
         start = clock.now
-        clock.advance(self.iteration_seconds, "compute")
-        state.compute_since_checkpoint += self.iteration_seconds
-        state.compute_seconds_total += self.iteration_seconds
-        if self._async and start < state.io_busy_until:
+        clock.advance(seconds, "compute")
+        self._compute.advance(seconds)
+        if self._async and self._io.busy_at(start):
             # A drain is in flight: the background flush steals bandwidth
             # from the solver, so this iteration pays the interference
             # surcharge on the compute channel.  The surcharge is I/O
             # contention, not solver work — it is not re-executed on a
-            # rollback, so it stays out of compute_since_checkpoint.
-            surcharge = self.iteration_seconds * self.cluster.async_interference
+            # rollback, so it stays out of the rollback anchor arithmetic.
+            surcharge = seconds * self.cluster.async_interference
             if surcharge > 0.0:
                 clock.advance(surcharge, "io_interference")
-        state.residual_trace.append((it_state.iteration, it_state.residual_norm))
-        self._record(
-            ComputeEvent(
-                time=clock.now,
-                iteration=it_state.iteration,
-                seconds=self.iteration_seconds,
-                residual_norm=it_state.residual_norm,
-            )
+        self._state.residual_trace.append(
+            (it_state.iteration, it_state.residual_norm)
         )
-        failure_time = self._injector.failure_in(start, clock.now)
-        if failure_time is not None:
-            failure_time = self._strike_time(failure_time, start)
-            if self.scheme.lossy:
-                event = self._injector.consume(failure_time, "compute")
-                self._record(
-                    FailureHitEvent(
-                        time=failure_time, phase="compute", index=event.index
-                    )
+        if self.events is not None:
+            self._record(
+                ComputeEvent(
+                    time=clock.now,
+                    iteration=it_state.iteration,
+                    seconds=seconds,
+                    residual_norm=it_state.residual_norm,
                 )
+            )
+        if self._calendar.next_time <= clock.now:
+            self._dispatch_boundary(it_state, start)
+
+    def _dispatch_boundary(self, it_state: IterationState, window_start: float) -> None:
+        """Deliver calendar events due at this iteration boundary.
+
+        At most two kinds can be actionable here and each has at most one
+        live posting, so delivery is kind-routed rather than heap-popped:
+
+        * ``failure-strike`` first — a strike inside the window preempts the
+          cadence action, which only runs at the boundary (by then the
+          machine is already down).  At most one strike is delivered per
+          boundary; an arrival re-armed into this same window is found by
+          the *next* window, exactly as the per-phase window checks did.
+        * ``checkpoint-due`` second, against the due time the strike handler
+          may just have reset.
+
+        ``drain-complete`` events live on the I/O calendar and are never
+        delivered here — the compute channel only observes them at
+        synchronization points.
+        """
+        head = self._calendar.peek()  # also skips lazily-cancelled postings
+        clock = self._clock
+        if head is None or head.time > clock.now:
+            return
+        injector = self._injector
+        state = self._state
+        if injector.peek() <= clock.now:
+            failure_time = injector.strike_time(window_start)
+            if self.scheme.lossy:
+                self._consume_strike(failure_time, "compute")
                 self._on_io_channel_failure(failure_time)
                 state.interrupted_at = it_state.iteration
                 raise _FailureSignal(it_state.iteration, "failure during compute")
@@ -570,8 +667,7 @@ class FaultToleranceEngine:
         """
         clock = self._clock
         state = self._state
-        event = self._injector.consume(failure_time, phase)
-        self._record(FailureHitEvent(time=failure_time, phase=phase, index=event.index))
+        self._consume_strike(failure_time, phase)
         state.num_inline_failures += 1
         self._on_io_channel_failure(failure_time)
         checkpoint_was_due = clock.now >= state.next_checkpoint_due
@@ -589,7 +685,7 @@ class FaultToleranceEngine:
                 level=None if last is None else last.level,
             )
         )
-        rollback_seconds = state.compute_since_checkpoint
+        rollback_seconds = self._compute.since_checkpoint
         self._advance_with_failures(rollback_seconds, "rollback")
         self._record(RollbackEvent(time=clock.now, seconds=rollback_seconds))
         if checkpoint_was_due or (
@@ -603,9 +699,9 @@ class FaultToleranceEngine:
             self._async
             and clock.now >= state.next_checkpoint_due
         ):
-            state.next_checkpoint_due = clock.now
+            self._set_due(clock.now)
         else:
-            state.next_checkpoint_due = clock.now + self.checkpoint_interval_seconds
+            self._set_due(clock.now + self.checkpoint_interval_seconds)
 
     def _on_checkpoint(self, it_state: IterationState) -> None:
         """Checkpoint event: run the pipeline, advance the priced cost.
@@ -623,11 +719,11 @@ class FaultToleranceEngine:
         clock = self._clock
         state = self._state
         if self._async:
-            # Commit every drain that finished before this capture so the
-            # incremental snapshot deltas against the last *committed*
-            # payload (and the rollback anchor is current).
+            # Synchronization point: commit every drain that finished before
+            # this capture so the incremental snapshot deltas against the
+            # last *committed* payload (and the rollback anchor is current).
             self._settle_drains(clock.now)
-            if len(state.pending_drains) >= self._staging_slots:
+            if self._io.in_flight >= self._staging_slots:
                 # Backpressure: every node-local staging buffer still holds
                 # an in-flight drain, so the compute channel has nowhere to
                 # stage this payload.  Leave the checkpoint due — it is
@@ -644,11 +740,10 @@ class FaultToleranceEngine:
                         CheckpointDeferredEvent(
                             time=clock.now,
                             iteration=it_state.iteration,
-                            pending=len(state.pending_drains),
+                            pending=self._io.in_flight,
                         )
                     )
                 return
-            state.checkpoint_deferred = False
         checkpoint_id = (
             state.next_checkpoint_id if self._async else state.num_checkpoints
         )
@@ -682,7 +777,7 @@ class FaultToleranceEngine:
         if self._store is not None:
             # With drains outstanding the level cycle has already been
             # "claimed" by the pending writes, so peek past them.
-            next_level = self._store.next_level(len(state.pending_drains))
+            next_level = self._store.next_level(self._io.in_flight)
             level = int(next_level)
             if self._backend is None:
                 write_multiplier = self._store.policy.cost_multiplier[next_level]
@@ -721,23 +816,16 @@ class FaultToleranceEngine:
         start = clock.now
         clock.advance(ckpt_seconds, "checkpoint")
         state.checkpoint_times.append(ckpt_seconds)
-        failure_time = self._injector.failure_in(start, clock.now)
-        if failure_time is not None:
+        if self._injector.peek() <= clock.now:
+            failure_time = self._injector.strike_time(start)
             # Incomplete checkpoint: do not record or commit it.
             self._record(
                 CheckpointDiscardedEvent(time=clock.now, iteration=it_state.iteration)
             )
             if self.scheme.lossy:
-                event = self._injector.consume(failure_time, "checkpoint")
-                self._record(
-                    FailureHitEvent(
-                        time=failure_time, phase="checkpoint", index=event.index
-                    )
-                )
+                self._consume_strike(failure_time, "checkpoint")
                 state.interrupted_at = it_state.iteration
-                state.next_checkpoint_due = (
-                    clock.now + self.checkpoint_interval_seconds
-                )
+                self._set_due(clock.now + self.checkpoint_interval_seconds)
                 raise _FailureSignal(
                     it_state.iteration, "failure during checkpoint"
                 )
@@ -751,7 +839,7 @@ class FaultToleranceEngine:
             compression_ratio=ratio,
             model_uncompressed_bytes=model_uncompressed,
             model_compressed_bytes=model_compressed,
-            compute_seconds_at_completion=state.compute_seconds_total,
+            compute_seconds_at_completion=self._compute.seconds_total,
             level=level,
         )
         if self._store is not None or self._backend is not None:
@@ -763,8 +851,8 @@ class FaultToleranceEngine:
         state.last_checkpoint = record
         state.num_checkpoints += 1
         state.compression_ratios.append(ratio)
-        state.compute_since_checkpoint = 0.0
-        state.next_checkpoint_due = clock.now + self.checkpoint_interval_seconds
+        self._compute.mark()
+        self._set_due(clock.now + self.checkpoint_interval_seconds)
         self._record(
             CheckpointTakenEvent(
                 time=clock.now,
@@ -790,15 +878,16 @@ class FaultToleranceEngine:
         write_profile: Optional[StoreProfile],
     ) -> None:
         """Async checkpoint: inline capture on the compute channel, then a
-        drain interval on the I/O channel.
+        ``drain-complete`` event on the I/O calendar.
 
         The solver stalls only for compression + node-local staging; the
-        storage write of the (possibly delta-encoded) payload is enqueued on
-        the I/O channel, starting when the channel frees up and completing
-        ``drain_seconds`` later.  Until then the checkpoint is a *dirty*
-        write: a failure discards it and recovery falls back to the previous
-        completed checkpoint.  A failure during the capture itself discards
-        the snapshot before anything is staged (as in blocking mode).
+        storage write of the (possibly delta-encoded) payload acquires the
+        I/O channel — starting when the channel frees up — and its completion
+        is posted at the drain's end time.  Until a synchronization point
+        delivers that event the checkpoint is a *dirty* write: a failure
+        discards it and recovery falls back to the previous completed
+        checkpoint.  A failure during the capture itself discards the
+        snapshot before anything is staged (as in blocking mode).
         """
         clock = self._clock
         state = self._state
@@ -810,25 +899,17 @@ class FaultToleranceEngine:
         start = clock.now
         clock.advance(capture_seconds, "checkpoint")
         state.checkpoint_times.append(capture_seconds)
-        failure_time = self._injector.failure_in(start, clock.now)
-        if failure_time is not None:
-            failure_time = self._strike_time(failure_time, start)
+        if self._injector.peek() <= clock.now:
+            failure_time = self._injector.strike_time(start)
             # The capture never finished: nothing was staged, nothing drains.
             self._record(
                 CheckpointDiscardedEvent(time=clock.now, iteration=it_state.iteration)
             )
             if self.scheme.lossy:
-                event = self._injector.consume(failure_time, "checkpoint")
-                self._record(
-                    FailureHitEvent(
-                        time=failure_time, phase="checkpoint", index=event.index
-                    )
-                )
+                self._consume_strike(failure_time, "checkpoint")
                 self._on_io_channel_failure(failure_time)
                 state.interrupted_at = it_state.iteration
-                state.next_checkpoint_due = (
-                    clock.now + self.checkpoint_interval_seconds
-                )
+                self._set_due(clock.now + self.checkpoint_interval_seconds)
                 raise _FailureSignal(
                     it_state.iteration, "failure during checkpoint capture"
                 )
@@ -840,9 +921,7 @@ class FaultToleranceEngine:
             write_cost_multiplier=write_multiplier,
             profile=write_profile,
         )
-        drain_start = max(clock.now, state.io_busy_until)
-        drain_end = drain_start + drain_seconds
-        state.io_busy_until = drain_end
+        drain_start, drain_end = self._io.enqueue(clock.now, drain_seconds)
         # A delta payload restores through its whole base chain (keyframe +
         # intermediate deltas), so recovery is priced at the chain bytes, not
         # just the delta the drain shipped.
@@ -859,18 +938,20 @@ class FaultToleranceEngine:
             compression_ratio=ratio,
             model_uncompressed_bytes=model_uncompressed,
             model_compressed_bytes=model_compressed,
-            compute_seconds_at_completion=state.compute_seconds_total,
+            compute_seconds_at_completion=self._compute.seconds_total,
             level=level,
             restore_uncompressed_bytes=restore_u,
             restore_compressed_bytes=restore_c,
         )
-        state.pending_drains.append(
-            PendingDrain(
+        self._io_calendar.post(
+            drain_end,
+            EventKind.DRAIN_COMPLETE,
+            payload=PendingDrain(
                 record=record, start=drain_start, end=drain_end, seconds=drain_seconds
-            )
+            ),
         )
         state.next_checkpoint_id += 1
-        state.next_checkpoint_due = clock.now + self.checkpoint_interval_seconds
+        self._set_due(clock.now + self.checkpoint_interval_seconds)
         self._record(
             DrainStartedEvent(
                 time=clock.now,
@@ -882,22 +963,22 @@ class FaultToleranceEngine:
         )
 
     def _settle_drains(self, until: float) -> None:
-        """Commit every pending drain that completed by I/O-channel time ``until``.
+        """Deliver every ``drain-complete`` due by I/O-channel time ``until``.
 
         A committed drain becomes the newest recovery point: the payload is
         persisted through the pipeline (entering the multilevel survival
         cycle under ``fti`` scenarios), the rollback anchor rebases onto it,
         and — in incremental mode — its reconstruction becomes the delta
-        base of subsequent snapshots.
+        base of subsequent snapshots.  If the commit frees a staging slot
+        while a capture is deferred, the backpressure episode ends with a
+        ``staging-slot-freed`` posting (delivered synchronously here).
         """
-        state = self._state
-        if not state.pending_drains:
+        if self._io.in_flight == 0:
             return
-        remaining: List[PendingDrain] = []
-        for pending in state.pending_drains:
-            if pending.end > until:
-                remaining.append(pending)
-                continue
+        state = self._state
+        for event in self._io_calendar.pop_due(until):
+            pending: PendingDrain = event.payload
+            self._io.complete_one()
             record = pending.record
             self._pipeline.commit(record.snapshot)
             if self._store is not None:
@@ -908,9 +989,7 @@ class FaultToleranceEngine:
             state.num_checkpoints += 1
             state.compression_ratios.append(record.compression_ratio)
             state.drain_times.append(pending.seconds)
-            state.compute_since_checkpoint = (
-                state.compute_seconds_total - record.compute_seconds_at_completion
-            )
+            self._compute.rebase(record.compute_seconds_at_completion)
             self._record(
                 DrainCompletedEvent(
                     time=pending.end,
@@ -927,7 +1006,18 @@ class FaultToleranceEngine:
                     level=record.level,
                 )
             )
-        state.pending_drains = remaining
+            if (
+                state.checkpoint_deferred
+                and self._io.in_flight < self._staging_slots
+            ):
+                # The episode ends here; the still-due checkpoint-due event
+                # drives the retake at the next boundary.
+                self._calendar.post(
+                    pending.end,
+                    EventKind.STAGING_SLOT_FREED,
+                    payload=record.checkpoint_id,
+                ).cancel()
+                state.checkpoint_deferred = False
 
     def _on_io_channel_failure(self, failure_time: float) -> None:
         """Settle the I/O channel at a failure: commit finished drains,
@@ -944,22 +1034,36 @@ class FaultToleranceEngine:
             return
         state = self._state
         self._settle_drains(failure_time)
-        for pending in state.pending_drains:
+        for event in self._io_calendar.pop_due(math.inf):
+            pending: PendingDrain = event.payload
             state.num_dirty_checkpoints += 1
             self._record(
                 CheckpointDiscardedEvent(
                     time=failure_time, iteration=pending.record.iteration
                 )
             )
-        state.pending_drains = []
-        state.io_busy_until = 0.0
+        self._io.reset(failure_time)
         # The staging buffers are free again: a later deferral is a new
-        # backpressure episode and records its own event.
+        # backpressure episode and records its own event (no slot-freed
+        # posting — the slots were torn down, not drained).
         state.checkpoint_deferred = False
 
     # -- internals -----------------------------------------------------------
-    def _callback(self, it_state: IterationState) -> None:
-        self._on_compute(it_state)
+    def _set_due(self, time: float) -> None:
+        """Move the checkpoint cadence: cancel the live ``checkpoint-due``
+        posting and post the new due time (lazy cancellation)."""
+        self._state.next_checkpoint_due = time
+        if self._due_event is not None:
+            self._due_event.cancel()
+        self._due_event = self._calendar.post(time, EventKind.CHECKPOINT_DUE)
+
+    def _consume_strike(self, failure_time: float, phase: str) -> None:
+        """Record the strike, re-arm the injector, re-post its calendar entry."""
+        event = self._injector.consume(failure_time, phase)
+        self._record(
+            FailureHitEvent(time=failure_time, phase=phase, index=event.index)
+        )
+        self._injector.reschedule(self._calendar)
 
     def _checkpoint_allowed(
         self, it_state: IterationState, *, overdue_seconds: float = 0.0
@@ -993,7 +1097,7 @@ class FaultToleranceEngine:
         return self.solver.solve(
             self.b,
             x0=x_current,
-            callback=self._callback,
+            callback=self._on_compute,
             iteration_offset=iteration_offset,
             max_iter=remaining,
             resume_state=resume,
@@ -1030,8 +1134,9 @@ class FaultToleranceEngine:
             state.records.get(survivor_id) if survivor_id is not None else None
         )
         state.last_checkpoint = new_last
-        anchor = 0.0 if new_last is None else new_last.compute_seconds_at_completion
-        state.compute_since_checkpoint = state.compute_seconds_total - anchor
+        self._compute.rebase(
+            0.0 if new_last is None else new_last.compute_seconds_at_completion
+        )
 
     def _prune_unreachable_records(self) -> None:
         """Drop checkpoints no survival draw can ever return.
@@ -1121,25 +1226,6 @@ class FaultToleranceEngine:
             profile=read_profile,
         )
 
-    def _strike_time(self, failure_time: float, window_start: float) -> float:
-        """Clock time at which a pending failure actually strikes.
-
-        A *latent* failure — one whose arrival re-armed inside a phase whose
-        full cost was already billed to the clock — carries an arrival time
-        in the past.  Under the two-channel (async) timeline it strikes at
-        the start of the window that finds it, so the re-armed process keeps
-        pace with the billed clock: re-arming from the stale arrival instead
-        lets the injector fall ever further behind whenever recovery +
-        rollback outlast the MTTI, and the resulting backlog makes every
-        subsequent window fail instantly (the failure-count explosion
-        documented in docs/architecture.md).  Blocking mode keeps the stale
-        arrival untouched — its behavior is pinned byte-identical to the
-        pre-refactor runner.
-        """
-        if self._async:
-            return max(failure_time, window_start)
-        return failure_time
-
     def _advance_with_failures(self, seconds: float, category: str) -> None:
         """Advance the clock by ``seconds``, restarting the phase if a failure hits.
 
@@ -1151,21 +1237,18 @@ class FaultToleranceEngine:
         interrupted attempt as complete).
         """
         clock = self._clock
+        injector = self._injector
         for _ in range(RECOVERY_RETRY_BUDGET):
             start = clock.now
             clock.advance(seconds, category)
-            failure_time = self._injector.failure_in(start, clock.now)
-            if failure_time is None:
+            if injector.peek() > clock.now:
                 return
-            failure_time = self._strike_time(failure_time, start)
-            event = self._injector.consume(failure_time, category)
-            self._record(
-                FailureHitEvent(time=failure_time, phase=category, index=event.index)
-            )
+            self._consume_strike(injector.strike_time(start), category)
         clock.advance(seconds, category)
 
     def _record(self, event) -> None:
         if self.events is not None:
+            event.stamp(self._sequence.claim())
             self.events.append(event)
 
     def _build_report(

@@ -15,8 +15,9 @@ the hot loop allocation-free.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Type, TypeVar
+from typing import Deque, Iterator, List, Optional, Type, TypeVar
 
 __all__ = [
     "EngineEvent",
@@ -36,9 +37,21 @@ __all__ = [
 
 @dataclass(frozen=True)
 class EngineEvent:
-    """Base class: ``time`` is the virtual time the event completed."""
+    """Base class: ``time`` is the virtual time the event completed.
+
+    ``seq`` is the event's position in the calendar's global sequence —
+    stamped at recording time from the same monotonic counter that orders
+    :class:`~repro.engine.calendar.ScheduledEvent` tie-breaks, so one
+    recorded run carries a single total order across scheduled and observed
+    events.  ``-1`` means the event was built outside a calendar run.
+    """
 
     time: float
+    seq: int = field(default=-1, kw_only=True, compare=False)
+
+    def stamp(self, seq: int) -> None:
+        """Assign the calendar sequence number (events stay frozen otherwise)."""
+        object.__setattr__(self, "seq", int(seq))
 
 
 @dataclass(frozen=True)
@@ -151,14 +164,44 @@ class GiveUpEvent(EngineEvent):
 E = TypeVar("E", bound=EngineEvent)
 
 
-@dataclass
 class EventLog:
-    """Append-only record of engine events, in dispatch order."""
+    """Append-only record of engine events, in dispatch order.
 
-    events: List[EngineEvent] = field(default_factory=list)
+    ``max_events`` opts into a ring buffer keeping only the newest entries —
+    million-event campaign cells can record the tail of their timeline
+    without unbounded RSS.  The default (None) keeps every event, as tests
+    that assert on full orderings expect.
+    """
+
+    __slots__ = ("events", "max_events", "total_appended")
+
+    def __init__(
+        self,
+        events: Optional[List[EngineEvent]] = None,
+        *,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if max_events is not None:
+            max_events = int(max_events)
+            if max_events < 1:
+                raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.events: "List[EngineEvent] | Deque[EngineEvent]" = (
+            deque(events or (), maxlen=max_events)
+            if max_events is not None
+            else list(events or ())
+        )
+        #: Lifetime append count — exceeds ``len(self)`` once the ring wraps.
+        self.total_appended = len(self.events)
 
     def append(self, event: EngineEvent) -> None:
         self.events.append(event)
+        self.total_appended += 1
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound (0 when unbounded)."""
+        return self.total_appended - len(self.events)
 
     def of_type(self, event_type: Type[E]) -> List[E]:
         """All recorded events of one type, in order."""

@@ -54,7 +54,7 @@ class BiCGStabSolver(IterativeSolver):
         max_iter: int,
         iteration_offset: int,
     ) -> SolveResult:
-        A = self.A
+        matvec = self.matvec
         M = self.preconditioner
         x = x0
         b_norm = float(np.linalg.norm(b))
@@ -72,7 +72,7 @@ class BiCGStabSolver(IterativeSolver):
             alpha = float(resume.scalars["alpha"])
             omega = float(resume.scalars["omega"])
         else:
-            r = b - A @ x
+            r = b - matvec(x)
             r_hat = r.copy()
             rho_old = 1.0
             alpha = 1.0
@@ -96,7 +96,7 @@ class BiCGStabSolver(IterativeSolver):
             beta = (rho / rho_old) * (alpha / omega)
             p = r + beta * (p - omega * v)
             p_hat = M.solve(p)
-            v = A @ p_hat
+            v = matvec(p_hat)
             denom = float(r_hat @ v)
             if denom == 0.0:
                 breakdown = True
@@ -113,7 +113,7 @@ class BiCGStabSolver(IterativeSolver):
                 self._emit(callback, iteration_offset + local_iter, x, res, converged=True)
                 break
             s_hat = M.solve(s)
-            t = A @ s_hat
+            t = matvec(s_hat)
             t_dot = float(t @ t)
             if t_dot == 0.0:
                 breakdown = True

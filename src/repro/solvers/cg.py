@@ -87,12 +87,12 @@ class CGSolver(IterativeSolver):
         max_iter: int,
         iteration_offset: int,
     ) -> SolveResult:
-        A = self.A
+        matvec = self.matvec
         M = self.preconditioner
         x = x0
         b_norm = float(np.linalg.norm(b))
 
-        r = b - A @ x
+        r = b - matvec(x)
         res = float(np.linalg.norm(r))
         residual_norms = [res]
         converged = self.criterion.has_converged(res, b_norm)
@@ -114,7 +114,7 @@ class CGSolver(IterativeSolver):
         for local_iter in range(1, max_iter + 1):
             if converged:
                 break
-            q = A @ p
+            q = matvec(p)
             denom = float(p @ q)
             if denom <= 0.0 or not np.isfinite(denom):
                 # Not SPD along this direction (or numerical breakdown).

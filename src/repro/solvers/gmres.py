@@ -63,7 +63,7 @@ class GMRESSolver(IterativeSolver):
         max_iter: int,
         iteration_offset: int,
     ) -> SolveResult:
-        A = self.A
+        matvec = self.matvec
         M = self.preconditioner
         n = self.n
         k = self.restart
@@ -81,7 +81,7 @@ class GMRESSolver(IterativeSolver):
         iterations = 0
         converged = False
 
-        r = M.solve(b - A @ x)
+        r = M.solve(b - matvec(x))
         beta = float(np.linalg.norm(r))
         residual_norms.append(beta)
         if self.criterion.has_converged(beta, b_norm):
@@ -95,7 +95,7 @@ class GMRESSolver(IterativeSolver):
             )
 
         while iterations < max_iter and not converged:
-            r = M.solve(b - A @ x)
+            r = M.solve(b - matvec(x))
             beta = float(np.linalg.norm(r))
             if beta == 0.0:
                 converged = True
@@ -112,7 +112,7 @@ class GMRESSolver(IterativeSolver):
             for j in range(k):
                 if iterations >= max_iter:
                     break
-                w = M.solve(A @ V[j])
+                w = M.solve(matvec(V[j]))
                 # Modified Gram-Schmidt orthogonalisation.
                 for i in range(j + 1):
                     H[i, j] = float(w @ V[i])
@@ -163,7 +163,7 @@ class GMRESSolver(IterativeSolver):
                     break
             if not converged and inner > 0:
                 x = self._form_iterate(x, V, H, g, inner)
-                true_res = float(np.linalg.norm(M.solve(b - A @ x)))
+                true_res = float(np.linalg.norm(M.solve(b - matvec(x))))
                 if self.criterion.has_diverged(true_res, b_norm):
                     break
             if inner == 0:

@@ -96,7 +96,7 @@ class JacobiSolver(_StationarySolver):
     name = "jacobi"
 
     def _sweep(self, x: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return x + (b - self.A @ x) / self._diag
+        return x + (b - self.matvec(x)) / self._diag
 
 
 class GaussSeidelSolver(_StationarySolver):

@@ -1,0 +1,71 @@
+"""Tests for the ``REPRO_PROFILE`` / ``--profile`` cell-profiling hook."""
+
+import pstats
+
+import pytest
+
+from repro.campaign.cli import main
+from repro.campaign.execute import PROFILE_ENV, execute_cell
+from repro.campaign.spec import CampaignSpec, RunSpec
+
+
+def _model_cell(tckp=30.0):
+    return RunSpec(kind="model", params={"lam": 1e-4, "tckp": float(tckp)})
+
+
+class TestExecuteCellProfiling:
+    def test_disabled_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        result = execute_cell(_model_cell())
+        assert result["overhead_fraction"] > 0
+        assert not list(tmp_path.glob("*.pstats"))
+
+    def test_dumps_loadable_pstats_per_cell(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, str(tmp_path / "profiles"))
+        unprofiled = execute_cell(_model_cell())
+        monkeypatch.delenv(PROFILE_ENV)
+        profiled = execute_cell(_model_cell())
+        # Profiling must not change what the cell computes.
+        assert profiled == unprofiled
+        files = list((tmp_path / "profiles").glob("*.pstats"))
+        assert len(files) == 1
+        [path] = files
+        assert path.name.startswith("model-")
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+
+    def test_distinct_cells_get_distinct_files(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, str(tmp_path))
+        execute_cell(_model_cell(10.0))
+        execute_cell(_model_cell(20.0))
+        assert len(list(tmp_path.glob("*.pstats"))) == 2
+
+    def test_profile_dumped_even_when_handler_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, str(tmp_path))
+        bad = RunSpec(kind="model", params={})  # missing lam/tckp
+        with pytest.raises(ValueError, match="model"):
+            execute_cell(bad)
+        assert len(list(tmp_path.glob("*.pstats"))) == 1
+
+
+class TestCliProfileFlag:
+    def test_profile_flag_writes_artifacts(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        spec = CampaignSpec(
+            name="cli-profile",
+            cells=tuple(_model_cell(t) for t in (10.0, 20.0)),
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        profile_dir = tmp_path / "profiles"
+        code = main(
+            [
+                "--spec", str(spec_path),
+                "--no-cache",
+                "--quiet",
+                "--profile", str(profile_dir),
+            ]
+        )
+        assert code == 0
+        assert len(list(profile_dir.glob("*.pstats"))) == 2
+        assert "2 cell profile(s)" in capsys.readouterr().out

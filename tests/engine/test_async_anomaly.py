@@ -38,16 +38,28 @@ from repro.engine.events import (
 )
 from repro.solvers import JacobiSolver
 
-#: Expected failure-count ceiling per BENCH_runner series, ~2-3x headroom
-#: over the observed post-fix counts (131 / 16 / 54 / 16 / 16 at seed 2018).
-#: The pre-fix traditional-poisson-async run consumed 2,455 failures — any
-#: regression of the cascade blows straight through these bounds.
+#: Expected failure-count ceiling per BENCH_runner series, ~1.5x headroom
+#: over the observed post-fix counts (54 / 16 / 16 / 131 / 16 at seed 2018,
+#: in the order below).  The pre-fix traditional-poisson-async run consumed
+#: 2,455 failures — any regression of the cascade blows straight through
+#: these bounds, while the tight headroom also catches slow drift.
+#:
+#: The one *expected* inflation: traditional-poisson-async sees ~2.4x the
+#: blocking failure count (131 vs 54).  That ratio is inherent, not a bug:
+#: the traditional 80 GB payload drains for ~157 s — longer than the 120 s
+#: cadence — so staging backpressure defers captures and commits are rare.
+#: Each failure therefore rolls back a long span and pays a long recovery,
+#: stretching the virtual run length several-fold, and a Poisson process at
+#: MTTI 300 s scores proportionally more arrivals over that longer exposure.
+#: The latent-failure clamp then makes every backlogged arrival strike
+#: (instead of silently rotting in the past), which is what keeps the count
+#: at MTTI scale rather than the pre-fix thousands.
 _FAILURE_CEILINGS = {
-    "traditional-poisson": 150,
-    "lossy-poisson": 60,
-    "lossy-weibull-fti": 60,
-    "traditional-poisson-async": 400,
-    "lossy-poisson-async": 60,
+    "traditional-poisson": 80,
+    "lossy-poisson": 25,
+    "lossy-weibull-fti": 25,
+    "traditional-poisson-async": 200,
+    "lossy-poisson-async": 25,
 }
 
 _SERIES = {
@@ -109,6 +121,20 @@ class TestBenchSeriesFailureScale:
             f"{name}: {report.num_failures} failures — the async latent-"
             f"failure cascade may be back (2,455 failures pre-fix)"
         )
+
+    def test_async_inflation_is_bounded(self, bench_setup):
+        """The async/blocking failure ratio for the traditional scheme stays
+        in the expected band (~2.4x at seed 2018; see _FAILURE_CEILINGS).
+
+        More failures async than blocking is *expected* — the >interval
+        drain time inflates the virtual run length — but the ratio blowing
+        past ~3x would mean the cascade is creeping back."""
+        _, blocking = _run(bench_setup, CheckpointingScheme.traditional(), Scenario())
+        _, async_ = _run(
+            bench_setup, CheckpointingScheme.traditional(), Scenario(write_mode="async")
+        )
+        assert async_.num_failures > blocking.num_failures
+        assert async_.num_failures < 3 * blocking.num_failures
 
     def test_async_traditional_commits_checkpoints(self, bench_setup):
         """Pre-fix only 4 drains ever committed in the whole run."""

@@ -17,6 +17,8 @@ def _valid_runner() -> dict:
         "converged": True,
         "iterations_per_second": 1000.0,
         "total_iterations": 131,
+        "events_processed": 90,
+        "events_per_second": 900.0,
         "num_failures": 3,
         "num_checkpoints": 5,
         "seconds": 0.1,
@@ -102,6 +104,15 @@ def test_runner_requires_both_write_modes(tmp_path):
     path.write_text(json.dumps(data))
     errors = checker.check_file(path)
     assert any("async" in e for e in errors)
+
+
+def test_runner_requires_events_per_second(tmp_path):
+    data = _valid_runner()
+    del data["scenarios"]["lossy-poisson"]["events_per_second"]
+    path = tmp_path / "BENCH_runner.json"
+    path.write_text(json.dumps(data))
+    errors = checker.check_file(path)
+    assert any("events_per_second" in e for e in errors)
 
 
 def test_nonpositive_rate_fails(tmp_path):
