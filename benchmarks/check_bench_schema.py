@@ -33,6 +33,20 @@ def _positive(row: dict, key: str, errors: List[str], context: str) -> None:
         errors.append(f"{context}: {key!r} should be a positive number, got {value!r}")
 
 
+#: In-container snapshot-throughput floors (MB/s) per scheme.  The sharded,
+#: byte-shuffled v2 compression stage is a throughput feature; a refactor
+#: that quietly reverts to whole-buffer DEFLATE would still produce a
+#: schema-valid artifact, so the checker pins the rates themselves.  The
+#: seed measured ~26-30 MB/s lossless and ~60-66 MB/s lossy; the floors sit
+#: between seed and current (quiet-container lossless >= 120, lossy >= 110)
+#: to absorb CI load variance without ever re-admitting the seed rates.
+_PIPELINE_MIN_SNAPSHOT_MB_S = {
+    "lossless": 60.0,
+    "lossy": 100.0,
+    "lossy-adaptive": 100.0,
+}
+
+
 def check_pipeline(data: dict) -> List[str]:
     """``BENCH_pipeline.json``: scheme x solver snapshot/restore throughput."""
     errors: List[str] = []
@@ -49,6 +63,19 @@ def check_pipeline(data: dict) -> List[str]:
         for key in ("scheme", "method"):
             if not row.get(key):
                 errors.append(f"combination {name!r}: missing {key!r}")
+        threads = row.get("compress_threads")
+        if not isinstance(threads, int) or threads < 1:
+            errors.append(f"combination {name!r}: 'compress_threads' should be "
+                          f"a positive integer, got {threads!r}")
+        version = row.get("format_version")
+        if not isinstance(version, int) or version < 0:
+            errors.append(f"combination {name!r}: 'format_version' should be "
+                          f"a non-negative integer, got {version!r}")
+        floor = _PIPELINE_MIN_SNAPSHOT_MB_S.get(row.get("scheme"))
+        rate = row.get("snapshot_mb_per_s")
+        if (floor is not None and isinstance(rate, (int, float)) and 0 < rate < floor):
+            errors.append(f"combination {name!r}: snapshot_mb_per_s {rate:.1f} "
+                          f"is below the {row['scheme']} floor of {floor:g} MB/s")
     schemes = {row.get("scheme") for row in combos.values() if isinstance(row, dict)}
     if len(schemes) < 2:
         errors.append(f"expected several schemes, found {sorted(map(str, schemes))}")

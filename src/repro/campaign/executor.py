@@ -170,7 +170,9 @@ class ParallelExecutor:
     ) -> int:
         submitted = {}
         first_error: Optional[BaseException] = None
-        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=self.n_workers, initializer=_init_worker
+        ) as pool:
             for chunk in self._chunk_pending(cells, pending):
                 future = pool.submit(_execute_chunk, [cells[i] for i in chunk])
                 submitted[future] = chunk
@@ -239,6 +241,17 @@ class ParallelExecutor:
                 if round_index < len(group_chunks):
                     chunks.append(group_chunks[round_index])
         return chunks
+
+
+def _init_worker() -> None:
+    """Campaign worker-process init: pin shard compression to one thread.
+
+    Each worker cell is already one process of a full pool; letting the
+    sharded compressor fan out its own threads on top would oversubscribe
+    the machine.  An explicit ``REPRO_COMPRESS_THREADS`` set by the user
+    wins — frame bytes are identical either way.
+    """
+    os.environ.setdefault("REPRO_COMPRESS_THREADS", "1")
 
 
 def _execute_chunk(chunk: List[RunSpec]):

@@ -59,7 +59,10 @@ KINDS = (
 #: (pfs/memory/disk/object/chunked) to ft cells; non-default backends price
 #: writes/drains/reads through their StoreProfile and chunked backends dedup
 #: shipped bytes, changing those cells' reports (pfs cells are unchanged).
-CACHE_VERSION = 7
+#: 8: payload format v2 (byte-shuffled, sharded, entropy-gated compression):
+#: lossless and SZ payload bytes changed (smaller), so every cell's measured
+#: payload sizes, ratios and checkpoint costs changed with them.
+CACHE_VERSION = 8
 
 _Params = Tuple[Tuple[str, object], ...]
 

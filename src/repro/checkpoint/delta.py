@@ -81,7 +81,10 @@ def delta_encode(
         )
     residual = (_as_words(value) - _as_words(base)).view(np.int64)
     payload = encode_frame([encode_signed(residual, width_cap=DELTA_WIDTH_CAP)])
-    blob_meta = {"base_id": int(base_id)}
+    # Delta payloads stay on the v1 block-codec frame: their residuals are
+    # already narrow integers, so the v2 shuffle/shard stage has nothing to
+    # add, and keeping the frame stable keeps old delta chains restorable.
+    blob_meta = {"base_id": int(base_id), "format_version": 1}
     if inner is not None:
         blob_meta["inner"] = str(inner)
     if meta:
@@ -115,8 +118,10 @@ def delta_decode(blob: CompressedBlob, base: np.ndarray) -> np.ndarray:
         raise ValueError(
             f"delta stream has {residual.size} residuals, blob declares {expected}"
         )
+    # ``words`` is freshly allocated by the addition, so the reshaped float64
+    # view already owns its memory — no defensive copy needed.
     words = _as_words(base) + residual.view(np.uint64)
-    return words.view(np.float64).reshape(blob.shape).copy()
+    return words.view(np.float64).reshape(blob.shape)
 
 
 def is_delta_blob(blob: CompressedBlob) -> bool:

@@ -547,7 +547,7 @@ class CheckpointPipeline:
             resume = ResumeState(
                 iteration=iteration,
                 vectors={
-                    name: np.asarray(entries[name], dtype=np.float64)
+                    name: _writable_f64(entries[name])
                     for name in self.spec.extra_vectors
                 },
                 scalars={
@@ -557,7 +557,7 @@ class CheckpointPipeline:
         return RestoredCheckpoint(
             checkpoint_id=int(checkpoint_id) if checkpoint_id is not None else -1,
             iteration=iteration,
-            x=np.asarray(entries["x"], dtype=np.float64),
+            x=_writable_f64(entries["x"]),
             resume_state=resume,
             tag=dict(parsed.meta.get("tag", {})),
         )
@@ -646,6 +646,18 @@ class CheckpointPipeline:
         except KeyError:
             self._decompressors[name] = make_compressor(name)
             return self._decompressors[name]
+
+
+def _writable_f64(value) -> np.ndarray:
+    """A float64 array the solver may mutate.
+
+    Deserialized array entries are read-only views into the payload buffer;
+    decompressed blobs already own writable memory and pass through as-is.
+    """
+    arr = np.asarray(value, dtype=np.float64)
+    if not arr.flags.writeable:
+        arr = arr.copy()
+    return arr
 
 
 def _exact_entry(value):

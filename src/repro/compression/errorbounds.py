@@ -211,7 +211,9 @@ class ResidualAdaptiveBoundPolicy(ErrorBoundPolicy):
         if self.safety_factor <= 0:
             raise ValueError(f"safety_factor must be > 0, got {self.safety_factor}")
         raw = self.safety_factor * residual_norm / b_norm
-        return float(np.clip(raw, self.min_bound, self.max_bound))
+        # Scalar clamp without np.clip: this runs once per checkpoint on the
+        # snapshot hot path and the ufunc dispatch costs more than the math.
+        return min(max(float(raw), self.min_bound), self.max_bound)
 
     def error_bound(self, residual_norm: float, b_norm: float) -> ErrorBound:
         """Same as :meth:`bound_value` but wrapped as an :class:`ErrorBound`."""

@@ -43,7 +43,9 @@ class QuantizedArray:
     quantum: float
 
 
-def quantize_absolute(values: np.ndarray, bound: float) -> QuantizedArray:
+def quantize_absolute(
+    values: np.ndarray, bound: float, *, checked: bool = True
+) -> QuantizedArray:
     """Quantize ``values`` so reconstruction error is at most ``bound``.
 
     Parameters
@@ -52,13 +54,17 @@ def quantize_absolute(values: np.ndarray, bound: float) -> QuantizedArray:
         1-D float array (finite values only).
     bound:
         Positive absolute error bound.
+    checked:
+        Pass ``False`` to skip the finiteness scan when the caller already
+        guarantees it (e.g. values produced by a transform that validated
+        its own input); the scan is a full pass over the data.
     """
     values = np.ascontiguousarray(values, dtype=np.float64)
     if values.ndim != 1:
         raise ValueError(f"values must be 1-D, got shape {values.shape}")
     if not np.isfinite(bound) or bound <= 0:
         raise ValueError(f"bound must be positive and finite, got {bound}")
-    if values.size and not np.all(np.isfinite(values)):
+    if checked and values.size and not np.all(np.isfinite(values)):
         raise ValueError("cannot quantize non-finite values")
     quantum = 2.0 * bound
     max_abs = float(np.max(np.abs(values))) if values.size else 0.0

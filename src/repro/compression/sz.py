@@ -12,15 +12,21 @@ vectorised formulation (see :mod:`repro.compression.quantization`):
 2. quantize all values onto the global error-bounded integer grid,
 3. apply a first-order ("lorenzo") or second-order ("linear") integer
    predictor — ``np.diff`` of the codes — so smooth data produces tiny codes,
-4. encode the residual codes with the versioned block codec
-   (:mod:`repro.compression.codec`): per-block minimal bit widths, an escape
-   channel for outlier codes (SZ's "unpredictable values"), and exactly one
-   DEFLATE pass over the whole frame.
+4. split the zigzag-mapped residual codes into byte planes
+   (:func:`~repro.compression.filters.code_planes`) and ship them through
+   the sharded, entropy-gated frame of :mod:`repro.compression.sharded`
+   (payload format v2): the noise-like low plane stores raw, the structured
+   upper planes DEFLATE to almost nothing — smaller *and* faster than the
+   v1 bit-packing + whole-frame DEFLATE it replaces.
 
-Payloads carry ``format_version`` in their metadata; payloads written before
-the block codec (no ``format_version`` key) still decode through the legacy
-paths (global-width bit packing, and a nested DEFLATE stream inside the
-pointwise-relative frame).
+Payloads carry ``format_version`` in their metadata and every earlier
+format still decodes: v1 blobs through the retained block-codec frame path
+(per-block minimal bit widths, escape channel, one DEFLATE pass), and
+pre-codec blobs (no ``format_version`` key) through the legacy paths
+(global-width bit packing, and a nested DEFLATE stream inside the
+pointwise-relative frame).  The quantization codes are identical across
+v1 and v2 — only their byte representation changed — so reconstructions
+are bitwise identical whichever format carried them.
 
 The compressor guarantees the requested error bound for every element; if the
 bound is unachievable with 63-bit integer codes it falls back to lossless
@@ -29,9 +35,10 @@ storage of the raw bytes (still satisfying the bound trivially).
 
 from __future__ import annotations
 
+import struct
 import time
 import zlib
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -42,16 +49,20 @@ from repro.compression.base import (
     register_compressor,
 )
 from repro.compression.codec import (
-    FORMAT_VERSION,
     decode_frame,
     decode_signed,
-    encode_frame,
-    encode_signed,
 )
 from repro.compression.encoding import (
     unpack_sections,
     unpack_unsigned,
     zigzag_decode,
+    zigzag_encode,
+)
+from repro.compression.filters import code_planes, codes_from_planes
+from repro.compression.sharded import (
+    SHARDED_FORMAT_VERSION,
+    compress_sections,
+    decompress_sections,
 )
 from repro.compression.errorbounds import ErrorBound, ErrorBoundMode
 from repro.compression.quantization import (
@@ -62,13 +73,17 @@ from repro.compression.quantization import (
 )
 from repro.compression.relative import (
     PointwiseRelativeTransform,
-    pw_rel_sections,
     reconstruct_from_masks,
 )
 
 __all__ = ["SZCompressor"]
 
 _PREDICTORS = ("lorenzo", "linear")
+
+#: v2 code-stream header section: quantum (f64), predictor order (i64),
+#: code count, total element count (== code count except under ``pw_rel``,
+#: where zeros are masked out of the code stream), plane count k.
+_V2_CODE_HEADER = struct.Struct("<dqQQB")
 
 
 def _predict_codes(codes: np.ndarray, order: int) -> np.ndarray:
@@ -105,7 +120,13 @@ class SZCompressor(Compressor):
         (second-order differencing), mirroring SZ's preceding-neighbour and
         linear-fit predictors.
     zlib_level:
-        DEFLATE effort for the (single) entropy stage.
+        DEFLATE effort for the entropy-coded shards (and the raw fallback).
+        Defaults to 2: the zigzag code planes are either near-constant or
+        near-uniform, so deeper match search buys almost nothing at several
+        times the encode cost.
+    threads:
+        Shard-compression worker count for this instance; ``None`` defers
+        to ``REPRO_COMPRESS_THREADS``/CPU count at call time.
     """
 
     name = "sz"
@@ -116,7 +137,8 @@ class SZCompressor(Compressor):
         error_bound: "ErrorBound | float" = 1e-4,
         *,
         predictor: str = "lorenzo",
-        zlib_level: int = 6,
+        zlib_level: int = 2,
+        threads: Optional[int] = None,
     ) -> None:
         super().__init__()
         if not isinstance(error_bound, ErrorBound):
@@ -128,6 +150,7 @@ class SZCompressor(Compressor):
         self.error_bound = error_bound
         self.predictor = predictor
         self.zlib_level = int(zlib_level)
+        self.threads = None if threads is None else max(1, int(threads))
 
     # ------------------------------------------------------------------
     def with_error_bound(self, error_bound: "ErrorBound | float") -> "SZCompressor":
@@ -137,7 +160,10 @@ class SZCompressor(Compressor):
         at every checkpoint based on the current residual norm.
         """
         return SZCompressor(
-            error_bound, predictor=self.predictor, zlib_level=self.zlib_level
+            error_bound,
+            predictor=self.predictor,
+            zlib_level=self.zlib_level,
+            threads=self.threads,
         )
 
     # ------------------------------------------------------------------
@@ -173,7 +199,7 @@ class SZCompressor(Compressor):
         meta = {
             "error_bound": self.error_bound.describe(),
             "predictor": self.predictor,
-            "format_version": FORMAT_VERSION,
+            "format_version": SHARDED_FORMAT_VERSION,
         }
 
         if self.error_bound.mode is ErrorBoundMode.POINTWISE_RELATIVE:
@@ -198,6 +224,8 @@ class SZCompressor(Compressor):
         scheme = blob.meta.get("scheme", "abs")
         if scheme == "raw":
             flat = np.frombuffer(zlib.decompress(blob.payload), dtype=np.float64).copy()
+        elif blob.format_version >= SHARDED_FORMAT_VERSION:
+            flat = self._decode_v2(blob.payload, scheme)
         elif blob.format_version >= 1:
             sections = decode_frame(blob.payload)
             if scheme == "pw_rel":
@@ -222,8 +250,10 @@ class SZCompressor(Compressor):
             quantized = quantize_absolute(flat, bound)
         except QuantizationOverflow:
             return self._raw_fallback(flat), "raw", flat.copy() if want_recon else None
-        payload = encode_frame(
-            self._quantized_sections(quantized), level=self.zlib_level
+        payload = compress_sections(
+            self._code_sections(quantized, flat.size),
+            level=self.zlib_level,
+            threads=self.threads,
         )
         recon = dequantize_absolute(quantized) if want_recon else None
         return payload, "abs", recon
@@ -234,17 +264,51 @@ class SZCompressor(Compressor):
     ) -> "tuple[bytes, str, np.ndarray | None]":
         transform = PointwiseRelativeTransform.forward(flat, self.error_bound.value)
         try:
-            quantized = quantize_absolute(transform.log_values, transform.log_bound)
+            # forward() already validated finiteness of the input, and the log
+            # of a finite nonzero magnitude is finite — skip the second scan.
+            quantized = quantize_absolute(
+                transform.log_values, transform.log_bound, checked=False
+            )
         except QuantizationOverflow:
             return self._raw_fallback(flat), "raw", flat.copy() if want_recon else None
-        sections = pw_rel_sections(
-            transform, self._quantized_sections(quantized), flat.size
+        sections = self._code_sections(quantized, flat.size)
+        # packbits accepts bool arrays directly; the astype copy is waste.
+        sections.append(np.packbits(transform.negative_mask))
+        sections.append(np.packbits(transform.zero_mask))
+        payload = compress_sections(
+            sections, level=self.zlib_level, threads=self.threads
         )
-        payload = encode_frame(sections, level=self.zlib_level)
         recon = (
             transform.backward(dequantize_absolute(quantized)) if want_recon else None
         )
         return payload, "pw_rel", recon
+
+    # -- v2 code-stream helpers (byte planes in a sharded frame) --------
+    def _code_sections(self, quantized: QuantizedArray, total_count: int) -> List:
+        """v2 sections for one quantized code stream: header, then planes."""
+        order = 1 if self.predictor == "lorenzo" else 2
+        residuals = _predict_codes(quantized.codes, order)
+        planes = code_planes(zigzag_encode(residuals))
+        header = _V2_CODE_HEADER.pack(
+            quantized.quantum,
+            order,
+            quantized.codes.size,
+            int(total_count),
+            len(planes),
+        )
+        return [header, *planes]
+
+    def _decode_v2(self, payload, scheme: str) -> np.ndarray:
+        sections = decompress_sections(payload)
+        quantum, order, count, total, k = _V2_CODE_HEADER.unpack(bytes(sections[0]))
+        residuals = zigzag_decode(codes_from_planes(sections[1:1 + k], count))
+        codes = _unpredict_codes(residuals, order)
+        quantized = QuantizedArray(codes=codes, quantum=quantum)
+        recon = dequantize_absolute(quantized)
+        if scheme != "pw_rel":
+            return recon
+        neg_section, zero_section = sections[1 + k], sections[2 + k]
+        return reconstruct_from_masks(recon, neg_section, zero_section, total)
 
     def _decode_pointwise_relative_sections(self, sections: List[bytes]) -> np.ndarray:
         count_section, header, order_section, packed, neg_section, zero_section = sections
@@ -253,16 +317,7 @@ class SZCompressor(Compressor):
         log_recon = dequantize_absolute(quantized)
         return reconstruct_from_masks(log_recon, neg_section, zero_section, count)
 
-    # -- v1 code-stream helpers -----------------------------------------
-    def _quantized_sections(self, quantized: QuantizedArray) -> List[bytes]:
-        order = 1 if self.predictor == "lorenzo" else 2
-        residuals = _predict_codes(quantized.codes, order)
-        return [
-            np.asarray([quantized.quantum], dtype=np.float64).tobytes(),
-            np.asarray([order], dtype=np.int64).tobytes(),
-            encode_signed(residuals),
-        ]
-
+    # -- v1 code-stream decode helper -----------------------------------
     def _decode_quantized_sections(self, sections: List[bytes]) -> QuantizedArray:
         header, order_section, packed = sections
         quantum = float(np.frombuffer(header, dtype=np.float64)[0])

@@ -59,6 +59,14 @@ class CheckpointingScheme:
     _cached_compressor: Optional[Compressor] = field(
         default=None, repr=False, compare=False
     )
+    #: Last (mode, value) bound resolved by :meth:`checkpoint_compressor` and
+    #: the compressor built for it.  Adaptive policies re-resolve every
+    #: checkpoint but the bound often repeats (steady residual, or the bench
+    #: hammering one state), and building a fresh compressor per snapshot is
+    #: measurable on the pipeline hot path.
+    _cached_bound_compressor: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- constructors ---------------------------------------------------------
     @classmethod
@@ -73,7 +81,7 @@ class CheckpointingScheme:
         )
 
     @classmethod
-    def lossless(cls, *, codec: str = "zlib", level: int = 6) -> "CheckpointingScheme":
+    def lossless(cls, *, codec: str = "zlib", level: int = 2) -> "CheckpointingScheme":
         """Lossless (Gzip-like) compression of all dynamic variables."""
         if codec == "zlib":
             factory = lambda: make_compressor("zlib", level=level)  # noqa: E731
@@ -183,7 +191,13 @@ class CheckpointingScheme:
         )
         if bound is None:
             return base
-        return base.with_error_bound(bound)
+        key = (variable, bound.mode, bound.value)
+        cached = self._cached_bound_compressor
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        compressor = base.with_error_bound(bound)
+        self._cached_bound_compressor = (key, compressor)
+        return compressor
 
     def stores_exactly(self, variable: str = "x") -> bool:
         """Whether this scheme stores ``variable`` bit-for-bit.

@@ -52,9 +52,39 @@ class TestSerialization:
         with pytest.raises(TypeError):
             serialize_checkpoint(payload)
 
-    def test_nbytes_estimate(self, smooth_vector):
-        payload = CheckpointPayload(entries={"x": np.zeros(100), "i": 5})
-        assert payload.nbytes() == 800 + 8
+    def test_nbytes_is_exact_serialized_size(self, smooth_vector):
+        blob = SZCompressor(1e-4).compress(smooth_vector)
+        payloads = [
+            CheckpointPayload(entries={"x": np.zeros(100), "i": 5}),
+            CheckpointPayload(entries={"i": 1}, meta={"kind": "dynamic"}),
+            CheckpointPayload(
+                entries={
+                    "x": blob,
+                    "iteration": 42,
+                    "rho": 3.14,
+                    "raw": np.arange(10, dtype=np.int32),
+                },
+                meta={"tag": {"iteration": 42}},
+            ),
+        ]
+        for payload in payloads:
+            assert payload.nbytes() == len(serialize_checkpoint(payload))
+
+    def test_truncated_index_rejected(self):
+        raw = serialize_checkpoint(
+            CheckpointPayload(entries={"i": 1}, meta={"kind": "dynamic"})
+        )
+        # Cut inside the JSON index: the declared index length overruns.
+        with pytest.raises(ValueError, match="truncated checkpoint payload"):
+            deserialize_checkpoint(raw[:20])
+
+    def test_truncated_body_rejected(self):
+        raw = serialize_checkpoint(
+            CheckpointPayload(entries={"x": np.zeros(100)})
+        )
+        # Cut inside the entry bodies: the index parses, the body is short.
+        with pytest.raises(ValueError, match="truncated checkpoint payload"):
+            deserialize_checkpoint(raw[:-100])
 
     def test_multidimensional_array_entry(self):
         data = np.random.default_rng(0).random((4, 6))

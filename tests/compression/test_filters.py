@@ -1,0 +1,137 @@
+"""Property tests for the byte-shuffle filter and the code-plane codec.
+
+The shuffle is the first stage of every v2 payload, so its round trip must
+be *bitwise* exact for every float64 bit pattern — denormals, NaN payloads,
+negative zero, infinities — not merely value-equal.  Comparisons therefore
+happen on the raw bit patterns (``view(np.uint64)``), where NaN != NaN
+cannot hide a corrupted byte.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.filters import (
+    assemble_planes,
+    byte_shuffle,
+    byte_unshuffle,
+    code_planes,
+    codes_from_planes,
+    plane_entropy,
+)
+
+
+def _bits(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr).view(np.uint64)
+
+
+_SPECIAL_VALUES = [
+    0.0,
+    -0.0,
+    np.nan,
+    np.nan,  # replaced with a payload-carrying NaN in the test
+    np.inf,
+    -np.inf,
+    5e-324,          # smallest subnormal
+    -5e-324,
+    2.2250738585072014e-308,   # smallest normal
+    1.7976931348623157e308,    # largest finite
+    1.0,
+    -1.0,
+]
+
+
+class TestByteShuffleRoundTrip:
+    @given(
+        data=st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=64),
+            min_size=0,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_float64_bitwise_roundtrip(self, data):
+        arr = np.array(data, dtype=np.float64)
+        planes = byte_shuffle(arr)
+        out = byte_unshuffle(planes, arr.dtype, arr.shape)
+        assert np.array_equal(_bits(out), _bits(arr))
+
+    def test_special_values_bitwise(self):
+        # NaN payloads survive: build one explicitly from its bit pattern.
+        arr = np.array(_SPECIAL_VALUES, dtype=np.float64)
+        arr[3] = np.uint64(0x7FF8DEADBEEF1234).view(np.float64)
+        planes = byte_shuffle(arr)
+        out = byte_unshuffle(planes, arr.dtype, arr.shape)
+        assert np.array_equal(_bits(out), _bits(arr))
+        # Negative zero keeps its sign bit.
+        assert np.signbit(out[1]) and not np.signbit(out[0])
+
+    @given(
+        dtype=st.sampled_from([np.float32, np.int32, np.uint16, np.uint8]),
+        n=st.integers(min_value=0, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_other_dtypes_roundtrip(self, dtype, n, seed):
+        rng = np.random.default_rng(seed)
+        arr = rng.integers(0, 255, size=n).astype(dtype)
+        planes = byte_shuffle(arr)
+        assert planes.shape == (np.dtype(dtype).itemsize, n)
+        out = byte_unshuffle(planes, arr.dtype, arr.shape)
+        assert np.array_equal(out.view(np.uint8), arr.view(np.uint8))
+
+    def test_multidimensional_shape_restored(self):
+        arr = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+        out = byte_unshuffle(byte_shuffle(arr), arr.dtype, arr.shape)
+        assert out.shape == (2, 3, 4)
+        assert np.array_equal(out, arr)
+
+    def test_assemble_planes_matches_unshuffle(self):
+        rng = np.random.default_rng(7)
+        arr = rng.standard_normal(100)
+        planes = byte_shuffle(arr)
+        via_buffers = assemble_planes(
+            [plane.tobytes() for plane in planes], arr.dtype, arr.shape
+        )
+        assert np.array_equal(_bits(via_buffers), _bits(arr))
+        assert via_buffers.flags.writeable
+
+    def test_assemble_planes_wrong_count_rejected(self):
+        with pytest.raises(ValueError, match="byte planes"):
+            assemble_planes([b"\x00"] * 3, np.float64, (1,))
+
+
+class TestCodePlanes:
+    @given(
+        codes=st.lists(
+            st.integers(min_value=0, max_value=2**64 - 1), min_size=0, max_size=100
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, codes):
+        arr = np.array(codes, dtype=np.uint64)
+        planes = code_planes(arr)
+        out = codes_from_planes(planes, arr.size)
+        assert np.array_equal(out, arr)
+
+    def test_trailing_zero_planes_dropped(self):
+        # Codes below 2**16 need exactly two little-endian planes.
+        planes = code_planes(np.array([1, 255, 65535], dtype=np.uint64))
+        assert len(planes) == 2
+
+    def test_plane_count_mismatch_rejected(self):
+        planes = code_planes(np.array([7], dtype=np.uint64))
+        with pytest.raises(ValueError, match="code plane"):
+            codes_from_planes(planes, 2)
+
+
+class TestPlaneEntropy:
+    def test_bounds(self):
+        assert plane_entropy(np.zeros(1000, dtype=np.uint8)) == 0.0
+        assert plane_entropy(np.zeros(0, dtype=np.uint8)) == 0.0
+        uniform = np.arange(256, dtype=np.uint8).repeat(4)
+        assert plane_entropy(uniform) == pytest.approx(8.0)
+
+    def test_accepts_bytes(self):
+        assert plane_entropy(b"\x00" * 64) == 0.0

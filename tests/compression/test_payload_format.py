@@ -27,6 +27,7 @@ from repro.compression.errorbounds import ErrorBound
 from repro.compression.metrics import max_abs_error, max_pointwise_relative_error
 from repro.compression.quantization import quantize_absolute
 from repro.compression.relative import PointwiseRelativeTransform
+from repro.compression.sharded import SHARDED_FORMAT_VERSION, decompress_sections
 from repro.compression.sz import SZCompressor, _predict_codes
 from repro.compression.zfp import ZFPCompressor
 
@@ -45,14 +46,18 @@ def _assert_sections_not_deflate(sections):
 class TestNoNestedDeflate:
     @pytest.mark.parametrize("predictor", ["lorenzo", "linear"])
     def test_sz_pw_rel_single_entropy_stage(self, smooth_vector, predictor):
+        # SZ writes sharded v2 frames: the shard layer is the only entropy
+        # stage, so the inflated sections must not be zlib streams themselves.
         blob = SZCompressor(1e-4, predictor=predictor).compress(smooth_vector)
         assert blob.meta["scheme"] == "pw_rel"
-        _assert_sections_not_deflate(decode_frame(blob.payload))
+        assert blob.format_version == SHARDED_FORMAT_VERSION
+        _assert_sections_not_deflate(decompress_sections(blob.payload))
 
     def test_sz_abs_single_entropy_stage(self, smooth_vector):
         blob = SZCompressor(ErrorBound.absolute(1e-5)).compress(smooth_vector)
         assert blob.meta["scheme"] == "abs"
-        _assert_sections_not_deflate(decode_frame(blob.payload))
+        assert blob.format_version == SHARDED_FORMAT_VERSION
+        _assert_sections_not_deflate(decompress_sections(blob.payload))
 
     def test_zfp_pw_rel_single_entropy_stage(self, smooth_vector):
         blob = ZFPCompressor(1e-4).compress(smooth_vector)

@@ -34,11 +34,13 @@ def _valid_pipeline() -> dict:
         return {
             "scheme": scheme,
             "method": "cg",
-            "snapshot_mb_per_s": 30.0,
+            "snapshot_mb_per_s": 150.0,
             "restore_mb_per_s": 140.0,
             "checkpoints_per_s": 200.0,
             "payload_bytes": 100000,
             "dynamic_bytes": 128016,
+            "compress_threads": 1,
+            "format_version": 2,
         }
     return {"combinations": {"lossless/cg": combo("lossless"), "lossy/cg": combo("lossy")}}
 
@@ -124,6 +126,44 @@ def test_nonpositive_rate_fails(tmp_path):
     assert any("snapshot_mb_per_s" in e for e in errors)
 
 
+@pytest.mark.parametrize(
+    "scheme, rate, ok",
+    [
+        ("lossless", 59.0, False),   # below the lossless floor
+        ("lossless", 60.0, True),
+        ("lossy", 99.0, False),      # below the lossy floor
+        ("lossy", 100.0, True),
+        ("lossy-adaptive", 80.0, False),
+        ("traditional", 5.0, True),  # traditional has no floor
+    ],
+)
+def test_pipeline_snapshot_rate_floors(tmp_path, scheme, rate, ok):
+    data = _valid_pipeline()
+    row = data["combinations"].pop("lossy/cg")
+    row["scheme"] = scheme
+    row["snapshot_mb_per_s"] = rate
+    data["combinations"][f"{scheme}/cg"] = row
+    path = tmp_path / "BENCH_pipeline.json"
+    path.write_text(json.dumps(data))
+    errors = checker.check_file(path)
+    floor_errors = [e for e in errors if "floor" in e]
+    assert bool(floor_errors) != ok
+
+
+@pytest.mark.parametrize("key", ["compress_threads", "format_version"])
+def test_pipeline_requires_compression_fields(tmp_path, key):
+    data = _valid_pipeline()
+    del data["combinations"]["lossy/cg"][key]
+    path = tmp_path / "BENCH_pipeline.json"
+    path.write_text(json.dumps(data))
+    assert any(key in e for e in checker.check_file(path))
+
+    data = _valid_pipeline()
+    data["combinations"]["lossy/cg"][key] = -1
+    path.write_text(json.dumps(data))
+    assert any(key in e for e in checker.check_file(path))
+
+
 def test_invalid_json_and_unknown_name(tmp_path):
     bad = tmp_path / "BENCH_codec.json"
     bad.write_text("{not json")
@@ -168,10 +208,19 @@ def test_main_exit_codes(tmp_path, capsys):
 
 def test_local_artifacts_are_valid():
     """Benchmark outputs in the workspace (gitignored) must satisfy the
-    schemas the CI upload is gated on."""
+    schemas the CI upload is gated on.
+
+    Rate *floors* are excluded here on purpose: workspace artifacts are
+    produced by whatever machine last ran the benchmark suite — often while
+    busy with the rest of the test session — so absolute-MB/s checks would
+    make this test flake on slow or loaded hosts.  The floors still gate the
+    dedicated CLI run (``python benchmarks/check_bench_schema.py``) that CI
+    executes against the artifact it uploads.
+    """
     repo = _MODULE_PATH.parent.parent
     present = [repo / name for name in sorted(_VALID) if (repo / name).exists()]
     if not present:
         pytest.skip("no benchmark artifacts in the workspace")
     for artifact in present:
-        assert checker.check_file(artifact) == [], artifact.name
+        errors = [e for e in checker.check_file(artifact) if " floor of " not in e]
+        assert errors == [], artifact.name
