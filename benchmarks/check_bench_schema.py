@@ -33,6 +33,13 @@ def _positive(row: dict, key: str, errors: List[str], context: str) -> None:
         errors.append(f"{context}: {key!r} should be a positive number, got {value!r}")
 
 
+def _nonnegative_int(row: dict, key: str, errors: List[str], context: str) -> None:
+    value = row.get(key)
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        errors.append(f"{context}: {key!r} should be a non-negative integer, "
+                      f"got {value!r}")
+
+
 #: In-container snapshot-throughput floors (MB/s) per scheme.  The sharded,
 #: byte-shuffled v2 compression stage is a throughput feature; a refactor
 #: that quietly reverts to whole-buffer DEFLATE would still produce a
@@ -82,6 +89,23 @@ def check_pipeline(data: dict) -> List[str]:
     return errors
 
 
+#: Per-series event-throughput floors (events/s) for the runner benchmark,
+#: mirroring the pipeline snapshot floors above.  The trajectory-replay cache
+#: is a throughput feature: a refactor that quietly stopped replaying (or
+#: broke the event calendar) would still produce a schema-valid artifact.
+#: The floors are set *below* the replay-off rates (seed measured ~19.3k /
+#: 16.4k events/s on the traditional series and ~3.6-4.0k on the lossy ones),
+#: so both the replay-on and the ``REPRO_REPLAY=off`` comparison artifact
+#: pass on a loaded CI host while a real event-loop regression still fails.
+_RUNNER_MIN_EVENTS_PER_S = {
+    "traditional-poisson": 5000.0,
+    "traditional-poisson-async": 4000.0,
+    "lossy-poisson": 1000.0,
+    "lossy-poisson-async": 1000.0,
+    "lossy-weibull-fti": 1000.0,
+}
+
+
 def check_runner(data: dict) -> List[str]:
     """``BENCH_runner.json``: per-scenario event-loop throughput."""
     errors: List[str] = []
@@ -97,8 +121,20 @@ def check_runner(data: dict) -> List[str]:
         # The event-calendar engine reports how many sequence numbers its
         # calendars claimed; a refactor that stops counting would zero this.
         _positive(row, "events_per_second", errors, f"scenario {name!r}")
+        # Trajectory-replay accounting: zero is legal (REPRO_REPLAY=off runs
+        # write the comparison artifact), but the fields must be present —
+        # a missing counter means the harness stopped reporting the cache.
+        _nonnegative_int(row, "replay_hits", errors, f"scenario {name!r}")
+        _nonnegative_int(row, "replay_iterations_saved", errors,
+                         f"scenario {name!r}")
         if row.get("converged") is not True:
             errors.append(f"scenario {name!r}: run did not converge")
+        floor = _RUNNER_MIN_EVENTS_PER_S.get(name)
+        rate = row.get("events_per_second")
+        if (floor is not None and isinstance(rate, (int, float))
+                and 0 < rate < floor):
+            errors.append(f"scenario {name!r}: events_per_second {rate:.0f} "
+                          f"is below the floor of {floor:g} events/s")
     modes = {name.endswith("-async") for name in scenarios}
     if modes != {True, False}:
         errors.append("expected both blocking and -async scenario series")
@@ -164,10 +200,27 @@ CHECKERS: Dict[str, Callable[[dict], List[str]]] = {
 }
 
 
+def _resolve_checker(name: str) -> Callable[[dict], List[str]]:
+    """Map an artifact filename to its schema checker.
+
+    Exact names win; variant artifacts that extend a known base name with an
+    underscore-suffixed qualifier (e.g. ``BENCH_runner_replay_off.json``, the
+    replay-disabled comparison run the benchmarks workflow uploads alongside
+    ``BENCH_runner.json``) share the base schema.
+    """
+    if name in CHECKERS:
+        return CHECKERS[name]
+    for known, checker in CHECKERS.items():
+        base = known[: -len(".json")]
+        if name.startswith(base + "_") and name.endswith(".json"):
+            return checker
+    raise KeyError(name)
+
+
 def check_file(path: Path) -> List[str]:
     """All schema errors for one artifact (empty list = valid)."""
     try:
-        checker = CHECKERS[path.name]
+        checker = _resolve_checker(path.name)
     except KeyError:
         return [f"no schema registered for {path.name!r} "
                 f"(known: {sorted(CHECKERS)})"]

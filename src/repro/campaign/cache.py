@@ -1,11 +1,21 @@
-"""Content-addressed on-disk cache of campaign cell results.
+"""Content-addressed on-disk caches for campaign execution.
 
-Each cell's :meth:`~repro.campaign.spec.RunSpec.cache_key` (a SHA-256 over the
-canonical JSON of the spec plus an engine version salt) names one JSON file in
-the cache directory holding ``{"spec": ..., "result": ...}``.  Re-running a
-campaign therefore only executes cells whose spec changed; everything else is
-served from disk.  Writes go through a temporary file and ``os.replace`` so
-that concurrent campaigns (or a crash mid-write) never leave a torn entry.
+:class:`ResultCache` stores finished cell results: each cell's
+:meth:`~repro.campaign.spec.RunSpec.cache_key` (a SHA-256 over the canonical
+JSON of the spec plus an engine version salt) names one JSON file in the cache
+directory holding ``{"spec": ..., "result": ...}``.  Re-running a campaign
+therefore only executes cells whose spec changed; everything else is served
+from disk.
+
+:class:`MemoStore` stores the expensive *sub-results* many cells share — the
+failure-free baseline of one solver configuration and the payload
+characterization of one scheme (see :mod:`repro.campaign.execute`).  Unlike
+cell results these are keyed by an explicit content digest rather than a
+:class:`~repro.campaign.spec.RunSpec`, because one memo serves cells whose
+specs differ in every other axis (seed, scale, failure model, ...).
+
+Both stores write through a temporary file and ``os.replace`` so that
+concurrent campaigns (or a crash mid-write) never leave a torn entry.
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ from typing import Dict, Iterator, Optional
 
 from repro.campaign.spec import RunSpec
 
-__all__ = ["ResultCache"]
+__all__ = ["ResultCache", "MemoStore"]
 
 
 class ResultCache:
@@ -91,3 +101,69 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+
+class MemoStore:
+    """A directory of ``<digest>.json`` memos for shared sub-results.
+
+    Keys are caller-computed content digests (hex strings); values are
+    JSON-safe dictionaries.  The float fields round-trip bit-exactly —
+    Python's JSON encoder emits ``repr``-faithful doubles — so a baseline
+    trajectory restored from a memo is numerically indistinguishable from a
+    freshly computed one, which is what keeps memo-served campaign cells
+    byte-identical to cold ones.
+    """
+
+    def __init__(self, directory: "str | os.PathLike") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The memoized payload for ``key``, or ``None`` on a miss.
+
+        A corrupt entry (torn write from a killed process, manual edit) is
+        treated as a miss and removed so the sub-result simply recomputes.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError:
+            return None
+        except json.JSONDecodeError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(payload, dict):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        """Store ``payload`` under ``key`` atomically."""
+        path = self._path(key)
+        text = json.dumps(payload, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -10,9 +10,17 @@ makes the serial and parallel execution paths byte-identical.
 
 Expensive sub-results that many cells share (the failure-free baseline of one
 solver configuration, the compression-ratio characterization of one scheme)
-are memoized per worker process with ``functools.lru_cache``, so a campaign
-sweeping repetitions or scales pays for each baseline/characterization at most
-once per worker.
+are memoized at two levels.  Per worker process, ``functools.lru_cache`` keeps
+the constructed objects live, so a campaign sweeping repetitions or scales
+pays for each baseline/characterization at most once per worker.  Across
+processes — and across campaign invocations — an optional on-disk
+:class:`~repro.campaign.cache.MemoStore` (see :func:`configure_memo_store`)
+holds the JSON form of each baseline/characterization, keyed by a SHA-256 of
+the :func:`_problem_key`/:func:`_scheme_key` coordinates plus the
+:data:`~repro.campaign.spec.CACHE_VERSION` salt: a fresh worker pool no
+longer re-solves a baseline another worker (or yesterday's campaign) already
+computed.  Floats survive the JSON round trip bit-exactly, so memo-served
+cells stay byte-identical to cold ones.
 
 Imports of the experiment-harness modules are deliberately lazy (inside the
 handlers): the experiment modules themselves import :mod:`repro.campaign`, and
@@ -28,16 +36,107 @@ profile; profile with ``--no-cache`` to capture every cell.
 from __future__ import annotations
 
 import cProfile
+import hashlib
+import json
 import os
 from functools import lru_cache
 from pathlib import Path
 from types import SimpleNamespace
 from typing import Dict, Optional, Tuple
 
-__all__ = ["execute_cell", "PROFILE_ENV"]
+__all__ = ["execute_cell", "configure_memo_store", "PROFILE_ENV"]
 
 #: Environment variable naming the directory cell profiles are dumped into.
 PROFILE_ENV = "REPRO_PROFILE"
+
+
+# -- on-disk memoization of shared sub-results --------------------------------
+
+_MEMO_STORE = None
+
+
+def configure_memo_store(directory: "str | os.PathLike | None") -> None:
+    """Point this process at an on-disk sub-result memo (``None`` disables).
+
+    The executor calls this in the parent for serial runs and through the
+    worker initializer for pools, so every process of one campaign shares the
+    same memo directory (by convention ``<result-cache>/memos``).  The
+    in-process ``lru_cache`` layers stay in front either way; disabling only
+    stops disk traffic, it never invalidates live objects.
+    """
+    global _MEMO_STORE
+    if directory is None:
+        _MEMO_STORE = None
+        return
+    from repro.campaign.cache import MemoStore
+
+    _MEMO_STORE = MemoStore(directory)
+
+
+def _memo_digest(kind: str, key: Tuple) -> str:
+    """Content address of one sub-result: canonical JSON + version salt."""
+    from repro.campaign.spec import CACHE_VERSION
+
+    canonical = json.dumps(
+        [kind, CACHE_VERSION, list(key)], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _baseline_to_dict(baseline) -> Dict[str, object]:
+    return {
+        "iterations": int(baseline.iterations),
+        "converged": bool(baseline.converged),
+        "residual_norms": [float(r) for r in baseline.residual_norms],
+        "final_residual_norm": float(baseline.final_residual_norm),
+        "x": [float(v) for v in baseline.x],
+    }
+
+
+def _baseline_from_dict(payload):
+    import numpy as np
+
+    from repro.engine import BaselineRun
+
+    return BaselineRun(
+        iterations=int(payload["iterations"]),
+        converged=bool(payload["converged"]),
+        residual_norms=[float(r) for r in payload["residual_norms"]],
+        final_residual_norm=float(payload["final_residual_norm"]),
+        x=np.asarray(payload["x"], dtype=np.float64),
+    )
+
+
+def _characterization_to_dict(char) -> Dict[str, object]:
+    return {
+        "scheme": str(char.scheme),
+        "method": str(char.method),
+        "mean_ratio": float(char.mean_ratio),
+        "ratios": [float(r) for r in char.ratios],
+        "baseline_iterations": int(char.baseline_iterations),
+        "variable_ratios": {str(k): float(v) for k, v in char.variable_ratios.items()},
+        "scalar_count": int(char.scalar_count),
+        "overhead_bytes": float(char.overhead_bytes),
+        "payload_bytes": [int(b) for b in char.payload_bytes],
+    }
+
+
+def _characterization_from_dict(payload):
+    from repro.experiments.characterize import SchemeCharacterization
+
+    return SchemeCharacterization(
+        scheme=str(payload["scheme"]),
+        method=str(payload["method"]),
+        mean_ratio=float(payload["mean_ratio"]),
+        ratios=[float(r) for r in payload["ratios"]],
+        baseline_iterations=int(payload["baseline_iterations"]),
+        variable_ratios={
+            str(k): float(v) for k, v in payload["variable_ratios"].items()
+        },
+        scalar_count=int(payload["scalar_count"]),
+        overhead_bytes=float(payload["overhead_bytes"]),
+        payload_bytes=[int(b) for b in payload["payload_bytes"]],
+    )
 
 
 def _build_problem_and_solver(cell) -> Tuple[object, object]:
@@ -140,7 +239,21 @@ def _cached_setup(
         max_iter=max_iter,
     )
     problem, solver = _build_problem_and_solver(cfg)
+    # The problem/solver construction is cheap; the baseline solve is the
+    # expensive part worth persisting across processes and invocations.
+    key = (method, grid_n, kkt_n, problem_seed, rtol, gmres_restart, max_iter)
+    store = _MEMO_STORE
+    digest = _memo_digest("baseline", key) if store is not None else None
+    if store is not None:
+        payload = store.get(digest)
+        if payload is not None:
+            try:
+                return problem, solver, _baseline_from_dict(payload)
+            except (KeyError, TypeError, ValueError):
+                pass  # stale/foreign entry: recompute and overwrite below
     baseline = run_failure_free(solver, problem.b)
+    if store is not None:
+        store.put(digest, _baseline_to_dict(baseline))
     return problem, solver, baseline
 
 
@@ -162,6 +275,19 @@ def _cached_characterization(
     """Measured pipeline-payload characterization of one scheme/config."""
     from repro.experiments.characterize import measure_scheme_ratio
 
+    key = (
+        method, grid_n, kkt_n, problem_seed, rtol, gmres_restart, max_iter,
+        scheme, compressor, error_bound, adaptive, error_bound_policy,
+    )
+    store = _MEMO_STORE
+    digest = _memo_digest("characterization", key) if store is not None else None
+    if store is not None:
+        payload = store.get(digest)
+        if payload is not None:
+            try:
+                return _characterization_from_dict(payload)
+            except (KeyError, TypeError, ValueError):
+                pass  # stale/foreign entry: recompute and overwrite below
     problem, solver, _ = _cached_setup(
         method, grid_n, kkt_n, problem_seed, rtol, gmres_restart, max_iter
     )
@@ -174,7 +300,10 @@ def _cached_characterization(
             error_bound_policy=error_bound_policy,
         )
     )
-    return measure_scheme_ratio(solver, problem.b, scheme_obj, method=method)
+    char = measure_scheme_ratio(solver, problem.b, scheme_obj, method=method)
+    if store is not None:
+        store.put(digest, _characterization_to_dict(char))
+    return char
 
 
 def _setup(cell):

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.campaign.cache import ResultCache
-from repro.campaign.execute import execute_cell
+from repro.campaign.execute import configure_memo_store, execute_cell
 from repro.campaign.spec import CampaignSpec, RunSpec
 
 __all__ = ["CellOutcome", "CampaignResult", "ParallelExecutor", "run_campaign"]
@@ -114,6 +114,14 @@ class ParallelExecutor:
             name = "cells"
             cells = list(campaign)
 
+        # Shared sub-results (baselines, characterizations) persist next to
+        # the cell results; without a result cache there is no durable
+        # directory to anchor them, so the memo stays in-process only.
+        memo_dir = (
+            str(self.cache.directory / "memos") if self.cache is not None else None
+        )
+        configure_memo_store(memo_dir)
+
         start = time.perf_counter()
         total = len(cells)
         outcomes: List[Optional[CellOutcome]] = [None] * total
@@ -140,7 +148,9 @@ class ParallelExecutor:
                     if self.progress:
                         self.progress(done, total, outcome)
             else:
-                done = self._execute_parallel(cells, pending, outcomes, done, total)
+                done = self._execute_parallel(
+                    cells, pending, outcomes, done, total, memo_dir
+                )
 
         return CampaignResult(
             name=name,
@@ -167,11 +177,14 @@ class ParallelExecutor:
         outcomes: List[Optional[CellOutcome]],
         done: int,
         total: int,
+        memo_dir: Optional[str] = None,
     ) -> int:
         submitted = {}
         first_error: Optional[BaseException] = None
         with ProcessPoolExecutor(
-            max_workers=self.n_workers, initializer=_init_worker
+            max_workers=self.n_workers,
+            initializer=_init_worker,
+            initargs=(memo_dir,),
         ) as pool:
             for chunk in self._chunk_pending(cells, pending):
                 future = pool.submit(_execute_chunk, [cells[i] for i in chunk])
@@ -243,15 +256,18 @@ class ParallelExecutor:
         return chunks
 
 
-def _init_worker() -> None:
+def _init_worker(memo_dir: Optional[str] = None) -> None:
     """Campaign worker-process init: pin shard compression to one thread.
 
     Each worker cell is already one process of a full pool; letting the
     sharded compressor fan out its own threads on top would oversubscribe
     the machine.  An explicit ``REPRO_COMPRESS_THREADS`` set by the user
-    wins — frame bytes are identical either way.
+    wins — frame bytes are identical either way.  ``memo_dir`` points the
+    worker at the campaign's shared on-disk sub-result memo, so baselines
+    and characterizations computed by any process are reused by all.
     """
     os.environ.setdefault("REPRO_COMPRESS_THREADS", "1")
+    configure_memo_store(memo_dir)
 
 
 def _execute_chunk(chunk: List[RunSpec]):

@@ -45,6 +45,8 @@ serialization index are absolute bytes that do not grow with the problem.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
@@ -74,6 +76,7 @@ __all__ = [
     "RestoredCheckpoint",
     "CheckpointPipeline",
     "scaled_payload_bytes",
+    "state_digest",
 ]
 
 #: Stamped into every pipeline payload's metadata; bump when the payload
@@ -121,6 +124,40 @@ def scaled_payload_bytes(
         + float(overhead_bytes)
     )
     return float(uncompressed), float(compressed)
+
+
+def state_digest(
+    x: np.ndarray,
+    resume_state: Optional[ResumeState] = None,
+    *,
+    context: bytes = b"",
+) -> bytes:
+    """BLAKE2b digest of one exact numeric solver state.
+
+    The digest covers the *numeric content* of a restart point — the iterate
+    bytes plus any exact-resume vectors and scalars, in sorted-name order —
+    under an optional caller-supplied ``context`` prefix (problem identity,
+    right-hand side).  The iteration counter is deliberately excluded: it is
+    a label on the timeline, not part of the numeric state, so a restore of
+    checkpoint *k* and a restore of an identical iterate at a different
+    offset hash the same.  This is the key of the trajectory-replay cache
+    (:mod:`repro.engine.replay`): two solves started from digest-equal states
+    produce bitwise-identical trajectories.
+    """
+    h = hashlib.blake2b(context, digest_size=16)
+    h.update(np.ascontiguousarray(x, dtype=np.float64).tobytes())
+    if resume_state is not None:
+        for name in sorted(resume_state.vectors):
+            h.update(b"v:" + name.encode("utf-8") + b"\0")
+            h.update(
+                np.ascontiguousarray(
+                    resume_state.vectors[name], dtype=np.float64
+                ).tobytes()
+            )
+        for name in sorted(resume_state.scalars):
+            h.update(b"s:" + name.encode("utf-8") + b"\0")
+            h.update(struct.pack("<d", float(resume_state.scalars[name])))
+    return h.digest()
 
 
 @dataclass(frozen=True)
@@ -310,6 +347,12 @@ class CheckpointPipeline:
         #: the delta bases a restore of a dependent payload resolves against.
         self._bases: Dict[int, Dict[str, np.ndarray]] = {}
         self._last_committed_id: Optional[int] = None
+        # Optional snapshot memo (see :meth:`enable_snapshot_memo`): a
+        # process-wide cache of finished payloads keyed by the pipeline's
+        # call-history digest, so deterministic re-runs skip re-compressing
+        # identical checkpoints.  Off unless the engine opts in.
+        self._memo = None
+        self._lineage: Optional[bytes] = None
 
     # -- registry materialization (the paper's Protect()) ---------------------
     def _materialize_registry(self) -> VariableRegistry:
@@ -341,6 +384,59 @@ class CheckpointPipeline:
             and bool(self.spec.extra_vectors or self.spec.scalars)
         )
 
+    # -- snapshot memoization --------------------------------------------------
+    def enable_snapshot_memo(self, memo, context: bytes) -> None:
+        """Serve repeated snapshots of identical histories from ``memo``.
+
+        ``memo`` is any mapping-like cache with ``get(key)``/``put(key, snap)``
+        (:class:`~repro.engine.replay.SnapshotMemo` in practice); ``context``
+        must digest everything that shapes payload bytes but is not visible in
+        the per-call inputs — the solver/matrix identity and the scheme's
+        compressor configuration.
+
+        Correctness rests on a *lineage* argument rather than per-call purity:
+        :meth:`snapshot` output depends on mutable pipeline state (the delta
+        bases of previously committed payloads), so each memo key folds a
+        running digest of every prior ``snapshot``/``commit`` on this
+        pipeline.  Two pipelines reach the same lineage digest only by making
+        the identical call sequence with identical inputs from an identical
+        configuration — at which point their internal state matches and the
+        cached snapshot is byte-for-byte what a fresh compression pass would
+        produce.  Divergence (a failure discarding a checkpoint, a different
+        boundary schedule) changes the commit sequence and forks the lineage,
+        so stale entries can never be served.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(context)
+        h.update(b"incremental" if self.incremental else b"full")
+        h.update(struct.pack("<q", self.keyframe_interval))
+        self._memo = memo
+        self._lineage = h.digest()
+
+    def _memo_key(
+        self,
+        x: np.ndarray,
+        iteration: int,
+        resume_state: Optional[ResumeState],
+        residual_norm: Optional[float],
+        b_norm: Optional[float],
+        checkpoint_id: int,
+        tag: dict,
+    ) -> bytes:
+        """Digest of one snapshot call chained onto the pipeline lineage."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self._lineage)
+        h.update(state_digest(x, resume_state))
+        h.update(struct.pack("<qq", int(iteration), int(checkpoint_id)))
+        for value in (residual_norm, b_norm):
+            if value is None:
+                h.update(b"\x00")
+            else:
+                h.update(b"\x01" + struct.pack("<d", float(value)))
+        if tag:
+            h.update(repr(sorted(tag.items())).encode("utf-8"))
+        return h.digest()
+
     # -- snapshot (the paper's Snapshot()) ------------------------------------
     def snapshot(
         self,
@@ -364,6 +460,19 @@ class CheckpointPipeline:
         if checkpoint_id is None:
             checkpoint_id = self._next_id
         self._next_id = max(self._next_id, int(checkpoint_id)) + 1
+
+        memo_key = None
+        if self._memo is not None:
+            memo_key = self._memo_key(
+                x, iteration, resume_state, residual_norm, b_norm,
+                int(checkpoint_id), tag,
+            )
+            # The call joins the lineage whether it hits or misses — the
+            # *next* key must see it either way.
+            self._lineage = memo_key
+            cached = self._memo.get(memo_key)
+            if cached is not None:
+                return cached
 
         self._holder["iteration"] = int(iteration)
         self._holder["x"] = np.ascontiguousarray(x)
@@ -445,7 +554,7 @@ class CheckpointPipeline:
                         stored_bytes=SCALAR_BYTES,
                     )
                 )
-        return PipelineSnapshot(
+        result = PipelineSnapshot(
             checkpoint_id=int(checkpoint_id),
             iteration=int(iteration),
             payload=serialize_checkpoint(payload),
@@ -453,6 +562,9 @@ class CheckpointPipeline:
             reconstructions=reconstructions,
             base_id=base_id if shipped_delta else None,
         )
+        if memo_key is not None:
+            self._memo.put(memo_key, result)
+        return result
 
     def commit(self, snapshot: PipelineSnapshot) -> Optional[WriteReceipt]:
         """Persist a snapshot into the pipeline's store (no-op without one).
@@ -463,6 +575,16 @@ class CheckpointPipeline:
         reconstruction becomes the delta base of subsequent snapshots, store
         or no store.
         """
+        if self._memo is not None:
+            # Commits pick the delta base of every later snapshot, so they
+            # fork the memo lineage exactly like snapshot calls do — a run
+            # that discards a checkpoint (mid-write failure) stops sharing
+            # keys with one that committed it.
+            h = hashlib.blake2b(digest_size=16)
+            h.update(self._lineage)
+            h.update(b"commit")
+            h.update(struct.pack("<q", int(snapshot.checkpoint_id)))
+            self._lineage = h.digest()
         if self.incremental and snapshot.checkpoint_id >= 0:
             self._bases[snapshot.checkpoint_id] = snapshot.reconstructions
             self._last_committed_id = snapshot.checkpoint_id

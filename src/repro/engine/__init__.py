@@ -12,7 +12,10 @@ a typed state:
 * :mod:`repro.engine.scenario` — pluggable failure models × recovery levels
   (:class:`~repro.engine.scenario.Scenario`);
 * :mod:`repro.engine.report` — :class:`~repro.engine.report.FTRunReport` and
-  the failure-free baseline.
+  the failure-free baseline;
+* :mod:`repro.engine.replay` — the deterministic trajectory-replay cache
+  (phases keyed by a digest of their exact numeric start state replay their
+  recorded residual trajectory instead of re-executing matvecs).
 
 ``repro.core.runner`` remains as a *deprecated* compatibility shim —
 accessing its ``FaultTolerantRunner`` emits a ``DeprecationWarning``; import
@@ -37,6 +40,16 @@ from repro.engine.events import (
     GiveUpEvent,
     RecoveryEvent,
     RollbackEvent,
+)
+from repro.engine.replay import (
+    REPLAY_ENV,
+    ReplaySession,
+    SnapshotMemo,
+    TrajectoryCache,
+    clear_global_cache,
+    get_global_cache,
+    get_global_snapshot_memo,
+    replay_enabled,
 )
 from repro.engine.report import BaselineRun, FTRunReport, run_failure_free
 from repro.engine.scenario import (
@@ -71,4 +84,12 @@ __all__ = [
     "FAILURE_MODELS",
     "RECOVERY_LEVELS",
     "WRITE_MODES",
+    "REPLAY_ENV",
+    "ReplaySession",
+    "SnapshotMemo",
+    "TrajectoryCache",
+    "replay_enabled",
+    "get_global_cache",
+    "get_global_snapshot_memo",
+    "clear_global_cache",
 ]

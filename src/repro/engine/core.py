@@ -126,6 +126,12 @@ from repro.engine.events import (
     RecoveryEvent,
     RollbackEvent,
 )
+from repro.engine.replay import (
+    ReplaySession,
+    get_global_snapshot_memo,
+    replay_enabled,
+    scheme_fingerprint,
+)
 from repro.engine.report import BaselineRun, FTRunReport, run_failure_free
 from repro.engine.scenario import DEFAULT_SCENARIO, Scenario
 from repro.solvers.base import (
@@ -292,6 +298,13 @@ class FaultToleranceEngine:
         Bound the event log to the newest ``max_events`` entries (ring
         buffer); ``None`` keeps every event.  Only meaningful with
         ``record_events=True``.
+    replay:
+        Trajectory-replay cache switch (see :mod:`repro.engine.replay`).
+        ``None`` (default) defers to the ``REPRO_REPLAY`` environment
+        variable, which enables replay unless set to ``off``; ``True`` /
+        ``False`` force it per engine.  Reports are byte-identical either
+        way — replay only changes how fast phases the process has already
+        computed are re-traversed.
     """
 
     def __init__(
@@ -316,6 +329,7 @@ class FaultToleranceEngine:
         multilevel_policy: Optional[MultilevelPolicy] = None,
         record_events: bool = False,
         max_events: Optional[int] = None,
+        replay: Optional[bool] = None,
     ) -> None:
         from repro.core.model import young_interval
         from repro.core.scale import ExperimentScale
@@ -365,6 +379,8 @@ class FaultToleranceEngine:
         self.multilevel_policy = multilevel_policy
         self.record_events = bool(record_events)
         self.max_events = max_events
+        self.replay = replay
+        self._replay: Optional[ReplaySession] = None
         self.events: Optional[EventLog] = None
         # Per-run working attributes (set up in run()).
         self._clock: VirtualClock = VirtualClock()
@@ -393,6 +409,17 @@ class FaultToleranceEngine:
         """Calendar sequence numbers claimed so far — every scheduled and
         recorded event of the run (the benchmark's throughput numerator)."""
         return self._sequence.value
+
+    @property
+    def replay_hits(self) -> int:
+        """Phases of the last run served from the trajectory-replay cache."""
+        return 0 if self._replay is None else self._replay.hits
+
+    @property
+    def replay_iterations_saved(self) -> int:
+        """Solver iterations the last run replayed instead of re-executing,
+        net of numeric catch-up spent materializing checkpoint boundaries."""
+        return 0 if self._replay is None else self._replay.iterations_saved
 
     # ------------------------------------------------------------------
     def run(self) -> FTRunReport:
@@ -449,6 +476,23 @@ class FaultToleranceEngine:
             next_checkpoint_due=self.checkpoint_interval_seconds
         )
         self._set_due(self.checkpoint_interval_seconds)
+        # Trajectory replay: phases whose exact numeric start state the
+        # process has already executed are served from the recording instead
+        # of re-running matvecs (byte-identical reports either way).
+        self._replay = (
+            ReplaySession(self.solver, self.b)
+            if replay_enabled(self.replay)
+            else None
+        )
+        if self._replay is not None:
+            # Same switch, second cache: checkpoint payloads along an
+            # identical pipeline history compress once per process instead
+            # of once per run (the compression pass dominates the event loop
+            # once the solve itself is replayed).
+            self._pipeline.enable_snapshot_memo(
+                get_global_snapshot_memo(),
+                self._replay.context + scheme_fingerprint(self.scheme),
+            )
 
         x_current = self.x0.copy()
         resume: Optional[ResumeState] = None
@@ -718,6 +762,12 @@ class FaultToleranceEngine:
         """
         clock = self._clock
         state = self._state
+        if self._replay is not None:
+            # Recording mode retains the full state seen at this boundary so
+            # later replays of the span find it without numeric catch-up
+            # (no-op while replaying — the state already comes from the
+            # recording).
+            self._replay.note_boundary_state(it_state)
         if self._async:
             # Synchronization point: commit every drain that finished before
             # this capture so the incremental snapshot deltas against the
@@ -1094,6 +1144,10 @@ class FaultToleranceEngine:
         remaining = None
         if self.max_total_iterations is not None:
             remaining = max(1, self.max_total_iterations - iteration_offset)
+        if self._replay is not None:
+            return self._replay.solve_phase(
+                x_current, resume, iteration_offset, remaining, self._on_compute
+            )
         return self.solver.solve(
             self.b,
             x0=x_current,

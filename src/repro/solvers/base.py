@@ -15,6 +15,7 @@ restarted-GMRES scheme the paper adopts (Section 4.2).
 from __future__ import annotations
 
 import abc
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, ClassVar, Dict, List, Optional, Tuple
 
@@ -153,6 +154,15 @@ class CheckpointSpec:
     scalars: Tuple[str, ...] = ()
     exact_resume: bool = False
     restart_boundary_only: bool = False
+    #: True when resuming from a captured state reproduces the uninterrupted
+    #: iteration sequence *bit for bit* — not merely up to rounding.  The
+    #: trajectory-replay cache (:mod:`repro.engine.replay`) only uses
+    #: mid-phase snapshots as numeric catch-up bases for solvers that declare
+    #: this; everything else falls back to re-executing from the phase start,
+    #: which is always bitwise (same call, same arguments).  CG declares
+    #: ``False``: its resume recomputes ``r = b - A x`` from the restored
+    #: iterate, which perturbs the recurrence residual in the last bits.
+    bitwise_resume: bool = False
 
     @property
     def vector_count(self) -> int:
@@ -192,6 +202,12 @@ class IterativeSolver(abc.ABC):
     #: The solver's ``CheckpointableState`` declaration (see
     #: :class:`CheckpointSpec`).  Subclasses override the class attribute.
     checkpoint_spec: ClassVar[CheckpointSpec] = CheckpointSpec()
+    #: Trajectory recorder installed by :meth:`recording`; when set, every
+    #: state ``_emit`` produces flows through ``recorder.on_iteration`` before
+    #: the caller's callback, and a completed ``_solve`` reports its
+    #: :class:`SolveResult` via ``recorder.on_result``.  This is the recording
+    #: hook of the trajectory-replay cache (:mod:`repro.engine.replay`).
+    _trajectory_recorder = None
 
     def __init__(
         self,
@@ -254,9 +270,24 @@ class IterativeSolver(abc.ABC):
         limit = self.max_iter if max_iter is None else int(max_iter)
         if limit < 0:
             raise ValueError(f"max_iter must be >= 0, got {limit}")
+        recorder = self._trajectory_recorder
+        if recorder is not None:
+            # The recorder observes each emitted state *before* the caller's
+            # callback runs (a callback may raise SolverInterrupt — the
+            # interrupted iteration still belongs to the recorded prefix).
+            # A non-None wrapped callback also keeps solvers that only
+            # materialize callback-visible state when a callback is present
+            # (GMRES) on the exact execution path the recording replays.
+            inner = callback
+
+            def callback(state, _inner=inner, _recorder=recorder):
+                _recorder.on_iteration(state)
+                if _inner is not None:
+                    _inner(state)
+
         self._resume_state = resume_state
         try:
-            return self._solve(
+            result = self._solve(
                 b,
                 x0,
                 callback=callback,
@@ -265,6 +296,28 @@ class IterativeSolver(abc.ABC):
             )
         finally:
             self._resume_state = None
+        if recorder is not None:
+            recorder.on_result(result)
+        return result
+
+    @contextmanager
+    def recording(self, recorder):
+        """Install ``recorder`` as this solver's trajectory recorder.
+
+        ``recorder`` needs two methods: ``on_iteration(it_state)``, invoked
+        for every emitted :class:`IterationState` ahead of the user callback,
+        and ``on_result(result)``, invoked when ``_solve`` returns normally
+        (an interrupted solve never reaches it — the caller sees the
+        :class:`SolverInterrupt` instead).  Recorders do not nest; the replay
+        session never re-enters a recorded solve.
+        """
+        if self._trajectory_recorder is not None:
+            raise RuntimeError("a trajectory recorder is already installed")
+        self._trajectory_recorder = recorder
+        try:
+            yield self
+        finally:
+            self._trajectory_recorder = None
 
     def capture_resume_state(self, it_state: IterationState) -> Optional[ResumeState]:
         """Capture the exact-resume state visible in one iteration snapshot.

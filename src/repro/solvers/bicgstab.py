@@ -43,6 +43,10 @@ class BiCGStabSolver(IterativeSolver):
         extra_vectors=("r", "r_hat", "p", "v"),
         scalars=("rho_old", "alpha", "omega"),
         exact_resume=True,
+        # The full recurrence is checkpointed (nothing is recomputed on
+        # resume), so continuation from a captured state is bit-exact —
+        # pinned by tests/solvers/test_resume.py.
+        bitwise_resume=True,
     )
 
     def _solve(

@@ -40,7 +40,11 @@ class CGSolver(IterativeSolver):
     name = "cg"
     #: Algorithm 1 checkpoints ``x`` *and* the direction vector ``p`` plus the
     #: scalar ``rho`` so the same Krylov sequence resumes after a recovery
-    #: (the residual is recomputed from the restored iterate).
+    #: (the residual is recomputed from the restored iterate).  Because that
+    #: recomputation — ``r = b - A x`` instead of the recurrence residual —
+    #: perturbs the last bits, CG resume is exact only up to rounding and the
+    #: spec keeps the default ``bitwise_resume=False``: the replay cache
+    #: never uses CG mid-phase snapshots as catch-up bases.
     checkpoint_spec = CheckpointSpec(
         extra_vectors=("p",), scalars=("rho",), exact_resume=True
     )

@@ -45,7 +45,12 @@ class GMRESSolver(IterativeSolver):
     #: ``x`` *is* the exact continuation, so no extra vectors are declared
     #: and exact resume is only meaningful at restart boundaries (the engine
     #: aligns lossy checkpoints to ``cycle_end`` for the same reason).
-    checkpoint_spec = CheckpointSpec(exact_resume=True, restart_boundary_only=True)
+    #: Restarting from a cycle-end iterate *is* the algorithm's own next
+    #: cycle (fresh ``r = b - A x``, fresh Arnoldi basis), so resume at a
+    #: declared boundary is a bitwise continuation.
+    checkpoint_spec = CheckpointSpec(
+        exact_resume=True, restart_boundary_only=True, bitwise_resume=True
+    )
 
     def __init__(self, A, *, restart: int = 30, **kwargs) -> None:
         super().__init__(A, **kwargs)

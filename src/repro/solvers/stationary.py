@@ -37,8 +37,11 @@ class _StationarySolver(IterativeSolver):
 
     #: Stationary methods are memoryless — the iterate ``x`` is the entire
     #: dynamic state, so restarting from a checkpointed ``x`` is always the
-    #: exact continuation and no extra vectors are declared.
-    checkpoint_spec = CheckpointSpec(exact_resume=True)
+    #: exact continuation and no extra vectors are declared.  The residual is
+    #: a pure function of ``x`` (``||b - A x||``), so the continuation is
+    #: bitwise, which is what lets the replay cache catch up from any
+    #: recorded snapshot.
+    checkpoint_spec = CheckpointSpec(exact_resume=True, bitwise_resume=True)
 
     def __init__(self, A, **kwargs) -> None:
         # Stationary methods do not use a preconditioner; reject one if passed.

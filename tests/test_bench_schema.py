@@ -18,10 +18,12 @@ def _valid_runner() -> dict:
         "iterations_per_second": 1000.0,
         "total_iterations": 131,
         "events_processed": 90,
-        "events_per_second": 900.0,
+        "events_per_second": 2000.0,
         "num_failures": 3,
         "num_checkpoints": 5,
         "seconds": 0.1,
+        "replay_hits": 4,
+        "replay_iterations_saved": 120,
     }
     return {
         "baseline_iterations": 131,
@@ -115,6 +117,68 @@ def test_runner_requires_events_per_second(tmp_path):
     path.write_text(json.dumps(data))
     errors = checker.check_file(path)
     assert any("events_per_second" in e for e in errors)
+
+
+@pytest.mark.parametrize("key", ["replay_hits", "replay_iterations_saved"])
+def test_runner_requires_replay_counters(tmp_path, key):
+    path = tmp_path / "BENCH_runner.json"
+
+    # Missing entirely: the harness stopped reporting the cache.
+    data = _valid_runner()
+    del data["scenarios"]["lossy-poisson"][key]
+    path.write_text(json.dumps(data))
+    assert any(key in e for e in checker.check_file(path))
+
+    # Negative or fractional counts are accounting bugs, not measurements.
+    for bad in (-1, 2.5, True):
+        data = _valid_runner()
+        data["scenarios"]["lossy-poisson"][key] = bad
+        path.write_text(json.dumps(data))
+        assert any(key in e for e in checker.check_file(path)), bad
+
+    # Zero is legal: the REPRO_REPLAY=off comparison artifact records none.
+    data = _valid_runner()
+    data["scenarios"]["lossy-poisson"][key] = 0
+    path.write_text(json.dumps(data))
+    assert checker.check_file(path) == []
+
+
+@pytest.mark.parametrize(
+    "name, rate, ok",
+    [
+        ("traditional-poisson", 4999.0, False),
+        ("traditional-poisson", 5000.0, True),
+        ("traditional-poisson-async", 3999.0, False),
+        ("traditional-poisson-async", 4000.0, True),
+        ("lossy-poisson", 999.0, False),
+        ("lossy-weibull-fti", 999.0, False),
+        ("lossy-weibull-fti", 1000.0, True),
+        ("custom-series", 1.0, True),  # unknown series has no floor
+    ],
+)
+def test_runner_events_per_second_floors(tmp_path, name, rate, ok):
+    data = _valid_runner()
+    row = data["scenarios"].pop("lossy-poisson")
+    row["events_per_second"] = rate
+    data["scenarios"][name] = row
+    path = tmp_path / "BENCH_runner.json"
+    path.write_text(json.dumps(data))
+    errors = checker.check_file(path)
+    floor_errors = [e for e in errors if "floor" in e]
+    assert bool(floor_errors) != ok, errors
+
+
+def test_variant_artifact_names_share_base_schema(tmp_path):
+    """``BENCH_runner_replay_off.json`` (the replay-disabled comparison run
+    the workflow uploads) must validate against the runner schema."""
+    path = tmp_path / "BENCH_runner_replay_off.json"
+    path.write_text(json.dumps(_valid_runner()))
+    assert checker.check_file(path) == []
+
+    data = _valid_runner()
+    data["scenarios"] = {}
+    path.write_text(json.dumps(data))
+    assert checker.check_file(path)
 
 
 def test_nonpositive_rate_fails(tmp_path):
